@@ -1,0 +1,54 @@
+"""Regenerates paper Fig. 12: improvement factors per resource-state type.
+
+Paper claim: OneQ achieves similar levels of improvement across 3-line,
+4-line, 4-star and 4-ring resource states (16-qubit benchmarks).
+"""
+
+import pytest
+
+from repro.eval import compare_one, render_fig12
+from repro.hardware import RESOURCE_STATES
+
+from benchmarks.conftest import save_table
+
+BENCHES = ("QFT", "QAOA", "RCA", "BV")
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("rst_name", sorted(RESOURCE_STATES))
+def test_resource_state(benchmark, rst_name):
+    rst = RESOURCE_STATES[rst_name]
+
+    def run():
+        return [
+            compare_one(bench, 16, resource_state=rst) for bench in BENCHES
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[rst_name] = rows
+    for row in rows:
+        assert row.depth_improvement > 1, (rst_name, row.label)
+        assert row.fusion_improvement > 1, (rst_name, row.label)
+
+
+def test_fig12_shape(benchmark, results_dir):
+    results = dict(_RESULTS)
+    for rst_name in RESOURCE_STATES:
+        if rst_name not in results:
+            rst = RESOURCE_STATES[rst_name]
+            results[rst_name] = [
+                compare_one(bench, 16, resource_state=rst) for bench in BENCHES
+            ]
+    benchmark.pedantic(render_fig12, args=(results,), rounds=1, iterations=1)
+
+    # "similar levels of improvement" across resource states: per
+    # benchmark, the best/worst fusion factor stays within one order.
+    for i, bench in enumerate(BENCHES):
+        factors = [results[r][i].fusion_improvement for r in results]
+        assert max(factors) / min(factors) < 10, (bench, factors)
+    # BV dominates for every resource state
+    for rst_name, rows in results.items():
+        by_bench = {row.name: row.fusion_improvement for row in rows}
+        assert by_bench["BV"] == max(by_bench.values()), rst_name
+
+    save_table(results_dir, "fig12", render_fig12(results))

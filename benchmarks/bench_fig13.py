@@ -1,0 +1,44 @@
+"""Regenerates paper Fig. 13: OneQ on rectangular physical layers.
+
+Paper claim: performance is similar across layer aspect ratios 1, 1.5,
+2.1 and 2.6 (normalized to the square layer).
+"""
+
+import pytest
+
+from repro.eval import FIG13_SHAPES, render_fig13, run_fig13
+
+from benchmarks.conftest import save_table
+
+BENCHES = ("QFT", "QAOA", "RCA", "BV")
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("bench", BENCHES)
+def test_bench_across_ratios(benchmark, bench):
+    result = benchmark.pedantic(
+        run_fig13, kwargs={"num_qubits": 16, "benchmarks": (bench,)},
+        rounds=1, iterations=1,
+    )
+    _RESULTS.update(result)
+    per_ratio = result[bench]
+    assert set(per_ratio) == {r for r, _ in FIG13_SHAPES}
+
+
+def test_fig13_shape(benchmark, results_dir):
+    results = dict(_RESULTS)
+    for bench in BENCHES:
+        if bench not in results:
+            results.update(run_fig13(num_qubits=16, benchmarks=(bench,)))
+    benchmark.pedantic(render_fig13, args=(results,), rounds=1, iterations=1)
+
+    # normalized metrics stay within a small factor of the square layer
+    for bench, per_ratio in results.items():
+        square = per_ratio[1.0]
+        for ratio, prog in per_ratio.items():
+            norm_depth = prog.physical_depth / max(1, square.physical_depth)
+            norm_fusion = prog.num_fusions / max(1, square.num_fusions)
+            assert norm_depth < 3.0, (bench, ratio, norm_depth)
+            assert norm_fusion < 3.0, (bench, ratio, norm_fusion)
+
+    save_table(results_dir, "fig13", render_fig13(results))

@@ -1,0 +1,47 @@
+"""Regenerates paper Fig. 14: 16-qubit QFT on an extended physical layer.
+
+The paper shows a 13x39 extended layer (3 consecutive 13x13 layers).
+The benchmark checks that extension trades per-cycle area for fewer
+mapped layers and renders the first extended layer like the figure.
+"""
+
+from repro.core import render_layer
+from repro.eval import run_fig14
+
+from benchmarks.conftest import save_table
+
+
+def test_fig14_extended_mapping(benchmark, results_dir):
+    prog = benchmark.pedantic(
+        run_fig14,
+        kwargs={"num_qubits": 16, "side": 13, "extension": 3},
+        rounds=1,
+        iterations=1,
+    )
+    assert prog.layouts[0].shape == (13, 39)
+    assert prog.extension == 3
+    # depth accounts 3 physical layers per extended layer
+    assert prog.physical_depth >= 3 * prog.mapping_layers
+
+    text = [prog.summary()]
+    for layout in prog.layouts[:2]:
+        text.append(f"--- extended layer {layout.index} (13x39) ---")
+        text.append(render_layer(layout))
+    save_table(results_dir, "fig14", "\n".join(text))
+
+
+def test_fig14_extension_helps(benchmark):
+    """Extended layers accommodate more global structure (Sec. 3.1)."""
+    from repro.circuit import qft
+    from repro.core import compile_circuit
+    from repro.hardware import HardwareConfig
+
+    def run():
+        flat = compile_circuit(qft(16), HardwareConfig(rows=13, cols=13))
+        ext = compile_circuit(
+            qft(16), HardwareConfig(rows=13, cols=13, extension=3)
+        )
+        return flat, ext
+
+    flat, ext = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ext.mapping_layers < flat.mapping_layers

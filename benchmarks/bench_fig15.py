@@ -1,0 +1,54 @@
+"""Regenerates paper Fig. 15: OneQ across physical areas.
+
+Paper claim: as physical area grows, physical depth first drops rapidly
+then plateaus, while #fusions trends upward (more room means longer
+routing paths are chosen instead of extra layers).
+"""
+
+import pytest
+
+from repro.eval import render_fig15, run_fig15
+
+from benchmarks.conftest import save_table
+
+BENCHES = ("QFT", "QAOA", "RCA", "BV")
+AREAS = (100, 256, 400, 700, 1000)
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("bench", BENCHES)
+def test_bench_across_areas(benchmark, bench):
+    result = benchmark.pedantic(
+        run_fig15,
+        kwargs={"num_qubits": 16, "benchmarks": (bench,), "areas": AREAS},
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS.update(result)
+    assert set(result[bench]) == set(AREAS)
+
+
+def test_fig15_shape(benchmark, results_dir):
+    results = dict(_RESULTS)
+    for bench in BENCHES:
+        if bench not in results:
+            results.update(
+                run_fig15(num_qubits=16, benchmarks=(bench,), areas=AREAS)
+            )
+    benchmark.pedantic(
+        render_fig15, args=(results,), kwargs={"base_area": 256},
+        rounds=1, iterations=1,
+    )
+
+    for bench, per_area in results.items():
+        depths = [per_area[a].physical_depth for a in AREAS]
+        # depth shrinks (or stays flat) from the smallest to largest area
+        assert depths[0] >= depths[-1], (bench, depths)
+        # plateau: the last doubling of area changes depth much less than
+        # the first one did (relative terms), unless depth is already ~1
+        if depths[0] > 4:
+            early_gain = depths[0] / max(1, depths[1])
+            late_gain = depths[-2] / max(1, depths[-1])
+            assert early_gain + 0.5 >= late_gain, (bench, depths)
+
+    save_table(results_dir, "fig15", render_fig15(results, base_area=256))

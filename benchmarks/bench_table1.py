@@ -1,0 +1,25 @@
+"""Regenerates paper Table 1: benchmark programs and baseline areas.
+
+Run: ``pytest benchmarks/bench_table1.py --benchmark-only``
+"""
+
+from repro.eval import render_table1, run_table1
+
+from benchmarks.conftest import save_table
+
+
+def test_table1(benchmark, results_dir):
+    rows = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    by_key = {(name, a.num_qubits): a for name, a in rows}
+
+    # Table 1 is analytic and must match the paper exactly.
+    assert by_key[("QFT", 16)].cluster_side == 7
+    assert by_key[("QFT", 16)].physical_side == 16
+    assert by_key[("QFT", 25)].cluster_side == 9
+    assert by_key[("QFT", 25)].physical_side == 21
+    assert by_key[("QFT", 36)].cluster_side == 11
+    assert by_key[("QFT", 36)].physical_side == 25
+    assert by_key[("BV", 100)].cluster_side == 19
+    assert by_key[("BV", 100)].physical_side == 43
+
+    save_table(results_dir, "table1", render_table1(rows))

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Fig. 11-style layout visualizations.
+
+Maps the fusion graphs of (a) an 8-qubit Bernstein-Vazirani instance with
+secret string '11111111' (9 qubits with the ancilla, as in the paper's
+Fig. 11a) and (b) a 3-qubit QFT onto a single physical layer, then prints
+the grids: 'o' complete nodes, '?' incomplete nodes, '*' auxiliary
+routing resource states.
+
+Run:  python examples/layout_visualization.py
+"""
+
+from repro import HardwareConfig, bernstein_vazirani, compile_circuit, qft
+from repro.core import render_layer
+
+
+def show(title, program):
+    print(f"== {title} ==")
+    print(program.summary())
+    for layout in program.layouts:
+        print(f"--- layer {layout.index} ---")
+        print(render_layer(layout))
+    print()
+
+
+def main() -> None:
+    hardware = HardwareConfig.square(16)
+
+    bv = bernstein_vazirani(9, secret="11111111")
+    show("8-qubit BV, secret 11111111 (paper Fig. 11a)",
+         compile_circuit(bv, hardware, name="bv-8"))
+
+    show("3-qubit QFT (paper Fig. 11b)",
+         compile_circuit(qft(3), hardware, name="qft-3"))
+
+
+if __name__ == "__main__":
+    main()

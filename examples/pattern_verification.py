@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""MBQC semantics, verified: one-way execution equals the circuit.
+
+Translates a circuit into a measurement pattern and *executes* it qubit
+by qubit — photons are created, entangled along graph edges, measured in
+adaptive equatorial bases (``(-1)^s * alpha + t*pi``) and destroyed —
+then checks the surviving output photons hold exactly the circuit's
+output state, for several random measurement-outcome branches.
+
+Run:  python examples/pattern_verification.py
+"""
+
+import numpy as np
+
+from repro import Circuit, circuit_to_pattern, simulate, simulate_pattern
+from repro.mbqc import dependency_layers
+from repro.sim import states_equal_up_to_phase
+
+
+def main() -> None:
+    circuit = Circuit(3)
+    circuit.h(0)
+    circuit.t(0)
+    circuit.cx(0, 1)
+    circuit.rz(0.37, 1)
+    circuit.cx(1, 2)
+    circuit.h(2)
+
+    pattern = circuit_to_pattern(circuit)
+    print("pattern:", pattern.summary())
+    layers = dependency_layers(pattern)
+    print(f"adaptive (feed-forward) depth: {len(layers)} dependency layers")
+
+    reference = simulate(circuit)
+    print("\nexecuting the one-way program on 5 random outcome branches:")
+    for seed in range(5):
+        result = simulate_pattern(pattern, seed=seed)
+        ok = states_equal_up_to_phase(reference, result.state)
+        ones = sum(result.outcomes.values())
+        print(
+            f"  seed {seed}: {ones}/{len(result.outcomes)} outcomes were 1, "
+            f"output fidelity = {abs(np.vdot(reference, result.state))**2:.6f} "
+            f"{'OK' if ok else 'MISMATCH'}"
+        )
+        assert ok
+
+    print("\nall branches reproduce the circuit: one-way computation works.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Fig. 14: mapping a 16-qubit QFT onto extended physical layers.
+
+The paper's Fig. 14 shows one 13x39 extended physical layer composed of
+three consecutive 13x13 layers.  This example compiles QFT-16 both ways
+and shows how extension trades per-cycle area for fewer mapped layers
+while keeping the physical-depth accounting honest (each extended layer
+still consumes three clock cycles).
+
+Run:  python examples/qft_extended_layers.py
+"""
+
+from repro import HardwareConfig, compile_circuit, qft
+from repro.core import render_layer
+
+
+def main() -> None:
+    circuit = qft(16)
+
+    flat = compile_circuit(
+        circuit, HardwareConfig(rows=13, cols=13), name="qft16-flat"
+    )
+    extended = compile_circuit(
+        circuit, HardwareConfig(rows=13, cols=13, extension=3), name="qft16-ext3"
+    )
+
+    print("13x13 layers:   ", flat.summary())
+    print("13x39 extended: ", extended.summary())
+    print()
+    print(
+        f"extension packs {flat.mapping_layers} layers into "
+        f"{extended.mapping_layers} extended layers "
+        f"({extended.mapping_layers * 3} clock cycles for mapping)"
+    )
+    print()
+    print("first extended layer (13x39, cf. paper Fig. 14):")
+    print(render_layer(extended.layouts[0]))
+
+
+if __name__ == "__main__":
+    main()

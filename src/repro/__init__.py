@@ -1,0 +1,76 @@
+"""OneQ: a compilation framework for photonic one-way quantum computation.
+
+Reproduction of Zhang et al., ISCA 2023 (arXiv:2209.01545).  The public
+API re-exports the main entry points of each subsystem:
+
+>>> from repro import qft, HardwareConfig, compile_circuit
+>>> prog = compile_circuit(qft(8), HardwareConfig.square(12))
+>>> prog.physical_depth > 0
+True
+"""
+
+from repro.baseline import BaselineResult, compile_baseline
+from repro.circuit import (
+    Circuit,
+    Gate,
+    bernstein_vazirani,
+    get_benchmark,
+    qaoa_maxcut,
+    qft,
+    ripple_carry_adder,
+    to_basic,
+    to_jcz,
+)
+from repro.core import (
+    CompiledProgram,
+    OneQCompiler,
+    OneQConfig,
+    PartitionConfig,
+    compile_circuit,
+    render_program,
+)
+from repro.hardware import (
+    FOUR_LINE,
+    FOUR_RING,
+    FOUR_STAR,
+    HardwareConfig,
+    RESOURCE_STATES,
+    THREE_LINE,
+    ResourceStateType,
+)
+from repro.mbqc import MeasurementPattern, circuit_to_pattern, dependency_layers
+from repro.sim import simulate, simulate_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineResult",
+    "Circuit",
+    "CompiledProgram",
+    "FOUR_LINE",
+    "FOUR_RING",
+    "FOUR_STAR",
+    "Gate",
+    "HardwareConfig",
+    "MeasurementPattern",
+    "OneQCompiler",
+    "OneQConfig",
+    "PartitionConfig",
+    "RESOURCE_STATES",
+    "ResourceStateType",
+    "THREE_LINE",
+    "bernstein_vazirani",
+    "circuit_to_pattern",
+    "compile_baseline",
+    "compile_circuit",
+    "dependency_layers",
+    "get_benchmark",
+    "qaoa_maxcut",
+    "qft",
+    "render_program",
+    "ripple_carry_adder",
+    "simulate",
+    "simulate_pattern",
+    "to_basic",
+    "to_jcz",
+]

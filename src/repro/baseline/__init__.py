@@ -1,0 +1,57 @@
+"""Baseline cluster-state interpreter (the paper's comparison point)."""
+
+from repro.baseline.cluster import (
+    LayerSynthesisCost,
+    cluster_3d_graph,
+    cluster_layer_graph,
+    layer_synthesis_cost,
+    logical_sites,
+    redundancy_stats,
+    verify_against_flat_bound,
+)
+from repro.baseline.interpreter import (
+    BaselineResult,
+    baseline_depth,
+    compile_baseline,
+    gate_width,
+    PATTERN_WIDTHS,
+)
+from repro.baseline.mapper import (
+    GridRouter,
+    RoutedCircuit,
+    logical_grid_side,
+    route_on_grid,
+)
+from repro.baseline.metrics import (
+    BaselineAreas,
+    CLUSTER_NODE_DEGREE,
+    cluster_area,
+    cluster_side,
+    physical_area,
+    physical_side,
+)
+
+__all__ = [
+    "BaselineAreas",
+    "LayerSynthesisCost",
+    "cluster_3d_graph",
+    "cluster_layer_graph",
+    "layer_synthesis_cost",
+    "logical_sites",
+    "redundancy_stats",
+    "verify_against_flat_bound",
+    "BaselineResult",
+    "CLUSTER_NODE_DEGREE",
+    "GridRouter",
+    "PATTERN_WIDTHS",
+    "RoutedCircuit",
+    "baseline_depth",
+    "cluster_area",
+    "cluster_side",
+    "compile_baseline",
+    "gate_width",
+    "logical_grid_side",
+    "physical_area",
+    "physical_side",
+    "route_on_grid",
+]

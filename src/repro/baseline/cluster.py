@@ -1,0 +1,147 @@
+"""Constructive cluster-state model for the baseline (Sec. 2.2.2, 7.1).
+
+`repro.baseline.metrics` prices the baseline with the paper's flat lower
+bound (5 resource states per cluster node).  This module builds the
+cluster *explicitly* — the 3D lattice graph, the logical-qubit strip
+sites, the degree-aware synthesis cost — so the analytic bound can be
+validated and the redundancy argument ("most entanglement is wasted")
+quantified.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from repro.hardware.resource_state import THREE_LINE, ResourceStateType
+
+Coord3 = Tuple[int, int, int]
+
+
+def cluster_layer_graph(side: int) -> nx.Graph:
+    """One 2D cluster layer: a side x side lattice graph state."""
+    if side < 1:
+        raise ValueError("side must be positive")
+    return nx.grid_2d_graph(side, side)
+
+
+def cluster_3d_graph(side: int, depth: int) -> nx.Graph:
+    """A side x side x depth cluster: layers plus vertical edges."""
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    graph = nx.Graph()
+    for t in range(depth):
+        for r in range(side):
+            for c in range(side):
+                graph.add_node((t, r, c))
+                if r + 1 < side:
+                    graph.add_edge((t, r, c), (t, r + 1, c))
+                if c + 1 < side:
+                    graph.add_edge((t, r, c), (t, r, c + 1))
+                if t + 1 < depth:
+                    graph.add_edge((t, r, c), (t + 1, r, c))
+    return graph
+
+
+def logical_sites(num_qubits: int) -> List[Tuple[int, int]]:
+    """Strip anchor sites: logical qubits on every other row/column.
+
+    This spacing is what makes the cluster side ``2*ceil(sqrt(n)) - 1``
+    (Table 1): patterns for two-qubit gates run in the lattice rows and
+    columns between neighbouring logical sites.
+    """
+    grid = max(1, math.ceil(math.sqrt(num_qubits)))
+    sites = []
+    for q in range(num_qubits):
+        gi, gj = divmod(q, grid)
+        sites.append((2 * gi, 2 * gj))
+    return sites
+
+
+@dataclass(frozen=True)
+class LayerSynthesisCost:
+    """Exact degree-aware cost of synthesizing one 3D-cluster layer."""
+
+    resource_states: int
+    fusions: int
+    nodes: int
+
+    @property
+    def states_per_node(self) -> float:
+        return self.resource_states / max(1, self.nodes)
+
+
+def layer_synthesis_cost(
+    side: int,
+    resource_state: ResourceStateType = THREE_LINE,
+    interior_depth: bool = True,
+) -> LayerSynthesisCost:
+    """Resource states and fusions to synthesize one cluster layer.
+
+    Each cluster node of 3D degree ``d`` costs ``states_for_degree(d)``
+    resource states and ``states_for_degree(d) - 1`` chain fusions; every
+    lattice edge inside the layer plus the vertical edge to the previous
+    layer costs one connection fusion.  ``interior_depth`` counts both
+    vertical neighbours (the paper's steady-state assumption behind the
+    flat ``5x`` bound: an interior node has degree 6).
+    """
+    layer = cluster_layer_graph(side)
+    vertical = 2 if interior_depth else 1
+    states = 0
+    chain_fusions = 0
+    for node in layer.nodes():
+        degree = layer.degree(node) + vertical
+        k = resource_state.states_for_degree(degree)
+        states += k
+        chain_fusions += k - 1
+    connection_fusions = layer.number_of_edges() + side * side  # + vertical
+    return LayerSynthesisCost(
+        resource_states=states,
+        fusions=chain_fusions + connection_fusions,
+        nodes=side * side,
+    )
+
+
+def redundancy_stats(
+    num_qubits: int, used_fraction_per_strip: float = 1.0
+) -> Dict[str, float]:
+    """How much of the cluster is wasted on geometry (paper Sec. 1).
+
+    Logical strips occupy every other row; the rows between them exist
+    only to support occasional two-qubit patterns.  Returns the fraction
+    of cluster-layer qubits that are redundant (removed by Z
+    measurements) when strips are fully used.
+    """
+    if not 0.0 <= used_fraction_per_strip <= 1.0:
+        raise ValueError("used_fraction_per_strip must be in [0, 1]")
+    side = 2 * max(1, math.ceil(math.sqrt(num_qubits))) - 1
+    total = side * side
+    # per cluster layer: each logical strip actively uses one cell (its
+    # pattern column); everything else pads the lattice geometry
+    used = num_qubits * used_fraction_per_strip
+    return {
+        "cluster_side": float(side),
+        "total_cells": float(total),
+        "used_cells": used,
+        "redundant_fraction": 1.0 - used / total,
+    }
+
+
+def verify_against_flat_bound(
+    side: int, resource_state: ResourceStateType = THREE_LINE
+) -> Tuple[bool, str]:
+    """The paper's flat bound (5/node) upper-bounds the exact cost.
+
+    Interior nodes cost exactly 5 three-qubit states; boundary nodes
+    fewer — so ``exact <= 5 * nodes`` with equality in the interior.
+    """
+    cost = layer_synthesis_cost(side, resource_state)
+    flat = resource_state.states_for_degree(6) * cost.nodes
+    if cost.resource_states > flat:
+        return False, (
+            f"exact cost {cost.resource_states} exceeds flat bound {flat}"
+        )
+    return True, "ok"

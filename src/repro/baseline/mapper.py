@@ -1,0 +1,145 @@
+"""Qubit mapping and routing for the baseline interpreter.
+
+The baseline lays each logical qubit on a horizontal strip of the 2D
+cluster state; two-qubit gates need their strips adjacent on the logical
+grid (paper Sec. 7.1 uses Qiskit for this step — we implement our own
+greedy SWAP router, which preserves the baseline's structure: far-apart
+interactions pay SWAP overhead in cluster columns).
+
+Logical qubits live on a ``side x side`` grid (``side = ceil(sqrt(n))``)
+with 4-neighbour adjacency, mirroring the per-layer structure of the
+cluster state the patterns are laid on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import Gate
+
+GridPos = Tuple[int, int]
+
+
+def logical_grid_side(num_qubits: int) -> int:
+    """Side of the smallest square grid holding *num_qubits* qubits."""
+    return max(1, math.ceil(math.sqrt(num_qubits)))
+
+
+@dataclass
+class RoutedCircuit:
+    """Result of SWAP routing onto the logical grid.
+
+    The routed circuit is expressed over *grid positions* (qubit index
+    ``row * side + col``); every 2-qubit gate acts on grid-adjacent
+    positions.  It equals the input circuit up to the final permutation
+    recorded in ``final_layout``.
+    """
+
+    circuit: Circuit
+    swap_count: int
+    grid_side: int
+    final_layout: Dict[int, GridPos]  # logical qubit -> final grid position
+
+    def position_index(self, logical: int) -> int:
+        row, col = self.final_layout[logical]
+        return row * self.grid_side + col
+
+
+class GridRouter:
+    """Greedy nearest-neighbour SWAP insertion on a square grid."""
+
+    def __init__(self, num_qubits: int):
+        self.num_qubits = num_qubits
+        self.side = logical_grid_side(num_qubits)
+        # logical qubit q sits initially at (q // side, q % side)
+        self._pos: Dict[int, GridPos] = {
+            q: (q // self.side, q % self.side) for q in range(num_qubits)
+        }
+        self._at: Dict[GridPos, int] = {p: q for q, p in self._pos.items()}
+
+    # ------------------------------------------------------------------
+    def distance(self, a: int, b: int) -> int:
+        (r1, c1), (r2, c2) = self._pos[a], self._pos[b]
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return self.distance(a, b) == 1
+
+    def _swap(self, a: int, b: int) -> None:
+        pa, pb = self._pos[a], self._pos[b]
+        self._pos[a], self._pos[b] = pb, pa
+        self._at[pa], self._at[pb] = b, a
+
+    def _neighbor_toward(self, src: int, dst: int) -> int:
+        """Logical qubit adjacent to *src* that reduces distance to *dst*."""
+        (r, c) = self._pos[src]
+        (tr, tc) = self._pos[dst]
+        candidates: List[GridPos] = []
+        if tr > r:
+            candidates.append((r + 1, c))
+        elif tr < r:
+            candidates.append((r - 1, c))
+        if tc > c:
+            candidates.append((r, c + 1))
+        elif tc < c:
+            candidates.append((r, c - 1))
+        # deterministic preference: row moves before column moves
+        for pos in candidates:
+            if pos in self._at:
+                return self._at[pos]
+        raise RuntimeError("no neighbour toward target")  # pragma: no cover
+
+    def _pos_index(self, logical: int) -> int:
+        row, col = self._pos[logical]
+        return row * self.side + col
+
+    def route(self, circuit: Circuit) -> RoutedCircuit:
+        """Insert SWAPs so every 2-qubit gate acts on adjacent positions.
+
+        Returns a circuit over ``side * side`` grid-position wires with
+        explicit ``swap`` gates; it reproduces the input circuit exactly
+        up to the final logical-to-position permutation.
+        """
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError("circuit size does not match router")
+        out = Circuit(self.side * self.side)
+        swaps = 0
+        for gate in circuit:
+            if gate.arity == 2:
+                a, b = gate.qubits
+                while not self.are_adjacent(a, b):
+                    step = self._neighbor_toward(a, b)
+                    out.append(
+                        Gate("swap", (self._pos_index(a), self._pos_index(step)))
+                    )
+                    self._swap(a, step)
+                    swaps += 1
+                out.append(
+                    Gate(
+                        gate.name,
+                        (self._pos_index(a), self._pos_index(b)),
+                        gate.params,
+                    )
+                )
+            else:
+                out.append(
+                    Gate(
+                        gate.name,
+                        tuple(self._pos_index(q) for q in gate.qubits),
+                        gate.params,
+                    )
+                )
+        return RoutedCircuit(
+            circuit=out,
+            swap_count=swaps,
+            grid_side=self.side,
+            final_layout=dict(self._pos),
+        )
+
+
+def route_on_grid(circuit: Circuit) -> RoutedCircuit:
+    """Convenience wrapper: route *circuit* on its natural square grid."""
+    return GridRouter(circuit.num_qubits).route(circuit)

@@ -1,0 +1,75 @@
+"""Analytic baseline resource metrics (paper Table 1).
+
+The baseline synthesizes a 3D cluster state from resource states.  Two
+derived quantities parameterize it:
+
+* **cluster area** — qubits per 2D cluster layer.  Logical qubits occupy
+  every other row/column of the lattice so that measurement patterns can
+  run between them, giving a ``(2*ceil(sqrt(n)) - 1)^2`` lattice; this
+  reproduces Table 1 exactly (16 -> 7x7, 25 -> 9x9, 36 -> 11x11,
+  100 -> 19x19).
+* **physical area** — RSGs needed to emit one cluster layer per clock
+  cycle.  An interior 3D-cluster node has degree 6, costing
+  ``states_for_degree(6)`` resource states (5 for 3-qubit lines); the
+  paper uses this as a lower bound ignoring routing, and
+  ``ceil(sqrt(5 * cluster_area))^2`` reproduces Table 1 exactly
+  (16x16, 21x21, 25x25, 43x43).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.resource_state import THREE_LINE, ResourceStateType
+
+#: Degree of an interior node of the 3D cluster lattice.
+CLUSTER_NODE_DEGREE = 6
+
+
+def cluster_side(num_qubits: int) -> int:
+    """Side of the square 2D cluster layer hosting *num_qubits* strips."""
+    return 2 * max(1, math.ceil(math.sqrt(num_qubits))) - 1
+
+
+def cluster_area(num_qubits: int) -> int:
+    """Qubits per 2D cluster layer (Table 1 'cluster area')."""
+    return cluster_side(num_qubits) ** 2
+
+
+def physical_side(
+    num_qubits: int, resource_state: ResourceStateType = THREE_LINE
+) -> int:
+    """Side of the RSG array emitting one cluster layer per cycle."""
+    per_node = resource_state.states_for_degree(CLUSTER_NODE_DEGREE)
+    return math.ceil(math.sqrt(per_node * cluster_area(num_qubits)))
+
+
+def physical_area(
+    num_qubits: int, resource_state: ResourceStateType = THREE_LINE
+) -> int:
+    """RSG count (Table 1 'physical area'), lower bound per the paper."""
+    return physical_side(num_qubits, resource_state) ** 2
+
+
+@dataclass(frozen=True)
+class BaselineAreas:
+    """The Table 1 row for one benchmark size."""
+
+    num_qubits: int
+    cluster_side: int
+    cluster_area: int
+    physical_side: int
+    physical_area: int
+
+    @classmethod
+    def for_qubits(
+        cls, num_qubits: int, resource_state: ResourceStateType = THREE_LINE
+    ) -> "BaselineAreas":
+        return cls(
+            num_qubits=num_qubits,
+            cluster_side=cluster_side(num_qubits),
+            cluster_area=cluster_area(num_qubits),
+            physical_side=physical_side(num_qubits, resource_state),
+            physical_area=physical_area(num_qubits, resource_state),
+        )

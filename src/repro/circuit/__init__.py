@@ -1,0 +1,36 @@
+"""Circuit IR: gates, circuits, lowering passes and paper benchmarks."""
+
+from repro.circuit.benchmarks import (
+    BENCHMARKS,
+    bernstein_vazirani,
+    get_benchmark,
+    qaoa_maxcut,
+    qft,
+    random_maxcut_edges,
+    random_secret_string,
+    ripple_carry_adder,
+)
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import CLIFFORD_1Q, GATE_SIGNATURES, Gate
+from repro.circuit.library import simplify_basic, to_basic, to_jcz
+from repro.circuit.qasm import from_qasm, to_qasm
+
+__all__ = [
+    "BENCHMARKS",
+    "CLIFFORD_1Q",
+    "Circuit",
+    "GATE_SIGNATURES",
+    "Gate",
+    "bernstein_vazirani",
+    "from_qasm",
+    "get_benchmark",
+    "qaoa_maxcut",
+    "qft",
+    "random_maxcut_edges",
+    "random_secret_string",
+    "ripple_carry_adder",
+    "simplify_basic",
+    "to_basic",
+    "to_jcz",
+    "to_qasm",
+]

@@ -1,0 +1,180 @@
+"""Benchmark circuit generators used in the paper's evaluation (Sec. 7.1).
+
+The paper evaluates four programs: Quantum Fourier Transform (QFT), QAOA
+for MaxCut on random graphs, the Cuccaro ripple-carry adder (RCA) and
+Bernstein-Vazirani (BV).  All generators are deterministic given their
+``seed`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import Circuit
+
+_PI = math.pi
+
+
+def qft(num_qubits: int, include_swaps: bool = True) -> Circuit:
+    """Quantum Fourier Transform on *num_qubits* qubits.
+
+    Uses the textbook H + controlled-phase ladder; ``include_swaps``
+    appends the final bit-reversal SWAP network (the paper's benchmark
+    uses the full QFT).
+    """
+    circuit = Circuit(num_qubits)
+    for i in range(num_qubits):
+        circuit.h(i)
+        for j in range(i + 1, num_qubits):
+            circuit.cp(_PI / 2 ** (j - i), j, i)
+    if include_swaps:
+        for i in range(num_qubits // 2):
+            circuit.swap(i, num_qubits - 1 - i)
+    return circuit
+
+
+def random_maxcut_edges(
+    num_qubits: int, seed: int = 7
+) -> List[Tuple[int, int]]:
+    """Random graph with half of all possible edges, as in the paper."""
+    rng = random.Random(seed)
+    all_edges = [
+        (i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)
+    ]
+    rng.shuffle(all_edges)
+    keep = len(all_edges) // 2
+    return sorted(all_edges[:keep])
+
+
+def qaoa_maxcut(
+    num_qubits: int,
+    rounds: int = 1,
+    seed: int = 7,
+    edges: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Circuit:
+    """QAOA MaxCut ansatz on a random graph.
+
+    Each round applies ``exp(-i*gamma*Z_i Z_j)`` per edge (via CX-RZ-CX)
+    followed by ``RX(2*beta)`` mixers. Angles are drawn deterministically
+    from ``seed``.
+    """
+    if edges is None:
+        edges = random_maxcut_edges(num_qubits, seed=seed)
+    rng = random.Random(seed + 1)
+    circuit = Circuit(num_qubits)
+    for q in range(num_qubits):
+        circuit.h(q)
+    for _ in range(rounds):
+        gamma = rng.uniform(0.1, _PI - 0.1)
+        beta = rng.uniform(0.1, _PI / 2 - 0.1)
+        for (i, j) in edges:
+            circuit.cx(i, j)
+            circuit.rz(2.0 * gamma, j)
+            circuit.cx(i, j)
+        for q in range(num_qubits):
+            circuit.rx(2.0 * beta, q)
+    return circuit
+
+
+def _maj(circuit: Circuit, c: int, b: int, a: int) -> None:
+    circuit.cx(a, b)
+    circuit.cx(a, c)
+    circuit.ccx(c, b, a)
+
+
+def _uma(circuit: Circuit, c: int, b: int, a: int) -> None:
+    circuit.ccx(c, b, a)
+    circuit.cx(a, c)
+    circuit.cx(c, b)
+
+
+def ripple_carry_adder(num_qubits: int) -> Circuit:
+    """Cuccaro ripple-carry adder sized to *num_qubits* total qubits.
+
+    The adder proper needs ``2n + 2`` qubits (carry-in, two n-bit
+    registers, carry-out); we use the largest ``n`` fitting in
+    ``num_qubits`` and leave any remainder idle, matching how the paper
+    reports RCA-16/25/36 by total qubit count.
+
+    Qubit layout: ``cin = 0``, then interleaved ``b_i, a_i`` pairs, then
+    the carry-out ``z = 2n + 1``.
+    """
+    n = (num_qubits - 2) // 2
+    if n < 1:
+        raise ValueError("ripple_carry_adder needs at least 4 qubits")
+    circuit = Circuit(num_qubits)
+    cin = 0
+    b = [1 + 2 * i for i in range(n)]
+    a = [2 + 2 * i for i in range(n)]
+    z = 2 * n + 1
+
+    _maj(circuit, cin, b[0], a[0])
+    for i in range(1, n):
+        _maj(circuit, a[i - 1], b[i], a[i])
+    circuit.cx(a[n - 1], z)
+    for i in range(n - 1, 0, -1):
+        _uma(circuit, a[i - 1], b[i], a[i])
+    _uma(circuit, cin, b[0], a[0])
+    return circuit
+
+
+def random_secret_string(num_bits: int, seed: int = 7) -> str:
+    """Secret string with roughly half ones, as in the paper's setup."""
+    rng = random.Random(seed)
+    ones = num_bits // 2
+    bits = ["1"] * ones + ["0"] * (num_bits - ones)
+    rng.shuffle(bits)
+    return "".join(bits)
+
+
+def bernstein_vazirani(
+    num_qubits: int, secret: Optional[str] = None, seed: int = 7
+) -> Circuit:
+    """Bernstein-Vazirani on *num_qubits* qubits (inputs + one ancilla).
+
+    ``secret`` has ``num_qubits - 1`` bits; if omitted a random string
+    with half ones is drawn from ``seed``.
+    """
+    num_inputs = num_qubits - 1
+    if secret is None:
+        secret = random_secret_string(num_inputs, seed=seed)
+    if len(secret) != num_inputs:
+        raise ValueError(
+            f"secret must have {num_inputs} bits, got {len(secret)}"
+        )
+    ancilla = num_qubits - 1
+    circuit = Circuit(num_qubits)
+    circuit.x(ancilla)
+    for q in range(num_qubits):
+        circuit.h(q)
+    for q, bit in enumerate(secret):
+        if bit == "1":
+            circuit.cx(q, ancilla)
+    for q in range(num_inputs):
+        circuit.h(q)
+    return circuit
+
+
+#: Registry used by the evaluation harness (name -> generator).
+BENCHMARKS = {
+    "QFT": qft,
+    "QAOA": qaoa_maxcut,
+    "RCA": ripple_carry_adder,
+    "BV": bernstein_vazirani,
+}
+
+
+def get_benchmark(name: str, num_qubits: int, seed: int = 7) -> Circuit:
+    """Build a named paper benchmark at a given size."""
+    name = name.upper()
+    if name == "QFT":
+        return qft(num_qubits)
+    if name == "QAOA":
+        return qaoa_maxcut(num_qubits, seed=seed)
+    if name == "RCA":
+        return ripple_carry_adder(num_qubits)
+    if name == "BV":
+        return bernstein_vazirani(num_qubits, seed=seed)
+    raise ValueError(f"unknown benchmark {name!r}")

@@ -1,0 +1,157 @@
+"""The :class:`Circuit` container used throughout the compiler."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.circuit.gates import Gate
+
+
+class Circuit:
+    """An ordered list of gates on ``num_qubits`` wires.
+
+    The class is intentionally thin: it stores gates in program order and
+    offers the structural queries the compiler needs (depth, moments,
+    two-qubit interaction list).  Gate-set lowering lives in
+    :mod:`repro.circuit.library`.
+    """
+
+    def __init__(self, num_qubits: int, gates: Optional[Iterable[Gate]] = None):
+        if num_qubits <= 0:
+            raise ValueError("num_qubits must be positive")
+        self.num_qubits = num_qubits
+        self._gates: List[Gate] = []
+        if gates is not None:
+            for gate in gates:
+                self.append(gate)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> "Circuit":
+        """Append *gate*, validating its qubits fit this circuit."""
+        if max(gate.qubits) >= self.num_qubits:
+            raise ValueError(
+                f"gate {gate} outside circuit with {self.num_qubits} qubits"
+            )
+        self._gates.append(gate)
+        return self
+
+    def add(self, name: str, *qubits: int, params: Tuple[float, ...] = ()) -> "Circuit":
+        """Convenience: build and append a gate in one call."""
+        return self.append(Gate(name, tuple(qubits), tuple(params)))
+
+    # one-liners for the common gates -----------------------------------
+    def i(self, q: int) -> "Circuit":
+        return self.add("i", q)
+
+    def x(self, q: int) -> "Circuit":
+        return self.add("x", q)
+
+    def y(self, q: int) -> "Circuit":
+        return self.add("y", q)
+
+    def z(self, q: int) -> "Circuit":
+        return self.add("z", q)
+
+    def h(self, q: int) -> "Circuit":
+        return self.add("h", q)
+
+    def s(self, q: int) -> "Circuit":
+        return self.add("s", q)
+
+    def sdg(self, q: int) -> "Circuit":
+        return self.add("sdg", q)
+
+    def t(self, q: int) -> "Circuit":
+        return self.add("t", q)
+
+    def tdg(self, q: int) -> "Circuit":
+        return self.add("tdg", q)
+
+    def rx(self, theta: float, q: int) -> "Circuit":
+        return self.add("rx", q, params=(theta,))
+
+    def ry(self, theta: float, q: int) -> "Circuit":
+        return self.add("ry", q, params=(theta,))
+
+    def rz(self, theta: float, q: int) -> "Circuit":
+        return self.add("rz", q, params=(theta,))
+
+    def p(self, theta: float, q: int) -> "Circuit":
+        return self.add("p", q, params=(theta,))
+
+    def j(self, alpha: float, q: int) -> "Circuit":
+        return self.add("j", q, params=(alpha,))
+
+    def cz(self, a: int, b: int) -> "Circuit":
+        return self.add("cz", a, b)
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        return self.add("cx", control, target)
+
+    def cp(self, theta: float, a: int, b: int) -> "Circuit":
+        return self.add("cp", a, b, params=(theta,))
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        return self.add("swap", a, b)
+
+    def ccx(self, c1: int, c2: int, target: int) -> "Circuit":
+        return self.add("ccx", c1, c2, target)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return self.num_qubits == other.num_qubits and self._gates == other._gates
+
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of gate names, e.g. ``{'h': 4, 'cz': 2}``."""
+        return dict(Counter(g.name for g in self._gates))
+
+    def two_qubit_pairs(self) -> List[Tuple[int, int]]:
+        """Ordered list of interacting qubit pairs (for mapping/routing)."""
+        return [
+            (g.qubits[0], g.qubits[1]) for g in self._gates if g.arity == 2
+        ]
+
+    def depth(self) -> int:
+        """Standard circuit depth (longest chain of gates per wire)."""
+        frontier = [0] * self.num_qubits
+        for gate in self._gates:
+            level = 1 + max(frontier[q] for q in gate.qubits)
+            for q in gate.qubits:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    def moments(self) -> List[List[Gate]]:
+        """Greedy as-soon-as-possible schedule into parallel moments."""
+        frontier = [0] * self.num_qubits
+        layers: List[List[Gate]] = []
+        for gate in self._gates:
+            level = max(frontier[q] for q in gate.qubits)
+            while len(layers) <= level:
+                layers.append([])
+            layers[level].append(gate)
+            for q in gate.qubits:
+                frontier[q] = level + 1
+        return layers
+
+    def copy(self) -> "Circuit":
+        return Circuit(self.num_qubits, self._gates)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Circuit(num_qubits={self.num_qubits}, gates={len(self._gates)})"

@@ -1,0 +1,90 @@
+"""Gate data model for the circuit IR.
+
+A :class:`Gate` is an immutable record of a named operation applied to an
+ordered tuple of qubit indices, with an optional tuple of real parameters.
+The set of recognised names is deliberately small and closed — the rest of
+the stack (decomposition, simulation, MBQC translation) dispatches on the
+name, and an unknown name is a programming error we want to surface early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Gate names accepted by the IR, mapped to their expected (arity, #params).
+GATE_SIGNATURES = {
+    "i": (1, 0),
+    "x": (1, 0),
+    "y": (1, 0),
+    "z": (1, 0),
+    "h": (1, 0),
+    "s": (1, 0),
+    "sdg": (1, 0),
+    "t": (1, 0),
+    "tdg": (1, 0),
+    "sx": (1, 0),
+    "rx": (1, 1),
+    "ry": (1, 1),
+    "rz": (1, 1),
+    "p": (1, 1),
+    "j": (1, 1),
+    "cz": (2, 0),
+    "cx": (2, 0),
+    "cp": (2, 1),
+    "swap": (2, 0),
+    "ccx": (3, 0),
+}
+
+#: Names of 1-qubit gates that are Clifford regardless of parameters.
+CLIFFORD_1Q = frozenset({"i", "x", "y", "z", "h", "s", "sdg", "sx"})
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single quantum operation.
+
+    Attributes:
+        name: lower-case gate name, one of :data:`GATE_SIGNATURES`.
+        qubits: ordered qubit indices the gate acts on.
+        params: real-valued parameters (rotation angles in radians).
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.name not in GATE_SIGNATURES:
+            raise ValueError(f"unknown gate name: {self.name!r}")
+        arity, n_params = GATE_SIGNATURES[self.name]
+        if len(self.qubits) != arity:
+            raise ValueError(
+                f"gate {self.name!r} expects {arity} qubits, got {self.qubits!r}"
+            )
+        if len(self.params) != n_params:
+            raise ValueError(
+                f"gate {self.name!r} expects {n_params} params, got {self.params!r}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"gate {self.name!r} has duplicate qubits {self.qubits!r}")
+        if any(q < 0 for q in self.qubits):
+            raise ValueError(f"gate {self.name!r} has negative qubit index")
+
+    @property
+    def arity(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return self.arity == 2
+
+    def remapped(self, mapping) -> "Gate":
+        """Return a copy with qubit indices sent through *mapping*."""
+        return Gate(self.name, tuple(mapping[q] for q in self.qubits), self.params)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.params:
+            args = ", ".join(f"{p:.4g}" for p in self.params)
+            return f"{self.name}({args}) {list(self.qubits)}"
+        return f"{self.name} {list(self.qubits)}"

@@ -1,0 +1,241 @@
+"""Gate-set lowering passes.
+
+Two target gate sets matter in this project:
+
+* the *basic* set ``{h, rz, rx, cz}`` — convenient for simulation and for
+  the baseline cluster-state interpreter;
+* the *MBQC-native* set ``{J(alpha), CZ}`` — the universal set the paper's
+  translation to measurement patterns is defined on, where
+  ``J(alpha) = H @ Rz(alpha)``.
+
+Both passes are purely structural; a statevector equivalence test pins the
+conventions (see ``tests/circuit/test_library.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import Gate
+from repro.utils.angles import ANGLE_ATOL, normalize_angle
+
+_PI = math.pi
+
+
+def _lower_to_basic(gate: Gate) -> List[Gate]:
+    """Lower a single gate to the ``{h, rz, rx, cz}`` set (program order)."""
+    name = gate.name
+    qs = gate.qubits
+    if name in ("h", "rz", "rx", "cz"):
+        return [gate]
+    if name == "i":
+        return []
+    if name == "x":
+        return [Gate("rx", qs, (_PI,))]
+    if name == "y":
+        # Y = i·X·Z: apply Z first, then X (global phase dropped).
+        return [Gate("rz", qs, (_PI,)), Gate("rx", qs, (_PI,))]
+    if name == "z":
+        return [Gate("rz", qs, (_PI,))]
+    if name == "s":
+        return [Gate("rz", qs, (_PI / 2,))]
+    if name == "sdg":
+        return [Gate("rz", qs, (-_PI / 2,))]
+    if name == "t":
+        return [Gate("rz", qs, (_PI / 4,))]
+    if name == "tdg":
+        return [Gate("rz", qs, (-_PI / 4,))]
+    if name == "sx":
+        return [Gate("rx", qs, (_PI / 2,))]
+    if name == "p":
+        return [Gate("rz", qs, gate.params)]
+    if name == "ry":
+        # Ry(t) = Rz(pi/2) @ Rx(t) @ Rz(-pi/2)   (rightmost applied first)
+        theta = gate.params[0]
+        return [
+            Gate("rz", qs, (-_PI / 2,)),
+            Gate("rx", qs, (theta,)),
+            Gate("rz", qs, (_PI / 2,)),
+        ]
+    if name == "j":
+        # J(alpha) = H @ Rz(alpha): apply Rz first, then H.
+        return [Gate("rz", qs, gate.params), Gate("h", qs)]
+    if name == "cx":
+        control, target = qs
+        return [
+            Gate("h", (target,)),
+            Gate("cz", (control, target)),
+            Gate("h", (target,)),
+        ]
+    if name == "cp":
+        theta = gate.params[0]
+        a, b = qs
+        steps = [
+            Gate("p", (a,), (theta / 2,)),
+            Gate("cx", (a, b)),
+            Gate("p", (b,), (-theta / 2,)),
+            Gate("cx", (a, b)),
+            Gate("p", (b,), (theta / 2,)),
+        ]
+        return [g for step in steps for g in _lower_to_basic(step)]
+    if name == "swap":
+        a, b = qs
+        steps = [Gate("cx", (a, b)), Gate("cx", (b, a)), Gate("cx", (a, b))]
+        return [g for step in steps for g in _lower_to_basic(step)]
+    if name == "ccx":
+        c1, c2, t = qs
+        steps = [
+            Gate("h", (t,)),
+            Gate("cx", (c2, t)),
+            Gate("tdg", (t,)),
+            Gate("cx", (c1, t)),
+            Gate("t", (t,)),
+            Gate("cx", (c2, t)),
+            Gate("tdg", (t,)),
+            Gate("cx", (c1, t)),
+            Gate("t", (c2,)),
+            Gate("t", (t,)),
+            Gate("h", (t,)),
+            Gate("cx", (c1, c2)),
+            Gate("t", (c1,)),
+            Gate("tdg", (c2,)),
+            Gate("cx", (c1, c2)),
+        ]
+        return [g for step in steps for g in _lower_to_basic(step)]
+    raise ValueError(f"cannot lower gate {gate}")  # pragma: no cover
+
+
+def to_basic(circuit: Circuit) -> Circuit:
+    """Lower *circuit* to the ``{h, rz, rx, cz}`` gate set."""
+    out = Circuit(circuit.num_qubits)
+    for gate in circuit:
+        for lowered in _lower_to_basic(gate):
+            out.append(lowered)
+    return out
+
+
+def _is_zero_angle(theta: float) -> bool:
+    return abs(normalize_angle(theta)) < ANGLE_ATOL
+
+
+def simplify_basic(circuit: Circuit) -> Circuit:
+    """Peephole simplification on a basic-set circuit.
+
+    Rules (applied to fixpoint):
+    * adjacent ``rz``/``rz`` (or ``rx``/``rx``) on the same wire merge;
+    * ``rz(0)`` and ``rx(0)`` are dropped;
+    * adjacent ``h h`` on the same wire cancel.
+
+    "Adjacent" means no intervening gate touches the wire.
+    """
+    gates = list(circuit.gates)
+    changed = True
+    while changed:
+        changed = False
+        out: List[Gate] = []
+        last_on_wire: dict = {}
+        for gate in gates:
+            if gate.arity == 1:
+                q = gate.qubits[0]
+                if gate.name in ("rz", "rx") and _is_zero_angle(gate.params[0]):
+                    changed = True
+                    continue
+                prev_idx = last_on_wire.get(q)
+                prev = out[prev_idx] if prev_idx is not None else None
+                if prev is not None and prev.qubits == gate.qubits:
+                    if prev.name == gate.name and gate.name in ("rz", "rx"):
+                        merged = normalize_angle(prev.params[0] + gate.params[0])
+                        out.pop(prev_idx)
+                        _reindex(last_on_wire, prev_idx)
+                        last_on_wire.pop(q, None)
+                        changed = True
+                        if not _is_zero_angle(merged):
+                            out.append(Gate(gate.name, gate.qubits, (merged,)))
+                            last_on_wire[q] = len(out) - 1
+                        continue
+                    if prev.name == "h" and gate.name == "h":
+                        out.pop(prev_idx)
+                        _reindex(last_on_wire, prev_idx)
+                        last_on_wire.pop(q, None)
+                        changed = True
+                        continue
+                out.append(gate)
+                last_on_wire[q] = len(out) - 1
+            else:
+                out.append(gate)
+                for q in gate.qubits:
+                    last_on_wire[q] = len(out) - 1
+        gates = out
+    return Circuit(circuit.num_qubits, gates)
+
+
+def _reindex(last_on_wire: dict, removed_idx: int) -> None:
+    """Shift wire->index bookkeeping after removing position *removed_idx*."""
+    for wire, idx in list(last_on_wire.items()):
+        if idx > removed_idx:
+            last_on_wire[wire] = idx - 1
+        elif idx == removed_idx:
+            del last_on_wire[wire]
+
+
+def to_jcz(circuit: Circuit, simplify: bool = True) -> Circuit:
+    """Lower *circuit* to the MBQC-native ``{j, cz}`` gate set.
+
+    With ``simplify=True`` (default) the basic-set circuit is peephole
+    simplified first and trailing/leading trivial ``J(0)`` pairs produced
+    by ``h h`` are already gone; the only remaining rule applied at the
+    ``{j, cz}`` level is ``J(0) J(0) = I`` cancellation.
+    """
+    basic = to_basic(circuit)
+    if simplify:
+        basic = simplify_basic(basic)
+    out: List[Gate] = []
+    for gate in basic:
+        if gate.name == "cz":
+            out.append(gate)
+        elif gate.name == "h":
+            out.append(Gate("j", gate.qubits, (0.0,)))
+        elif gate.name == "rz":
+            # Rz(t) = J(0) @ J(t): apply J(t) first.
+            out.append(Gate("j", gate.qubits, (normalize_angle(gate.params[0]),)))
+            out.append(Gate("j", gate.qubits, (0.0,)))
+        elif gate.name == "rx":
+            # Rx(t) = J(t) @ J(0): apply J(0) first.
+            out.append(Gate("j", gate.qubits, (0.0,)))
+            out.append(Gate("j", gate.qubits, (normalize_angle(gate.params[0]),)))
+        else:  # pragma: no cover - to_basic guarantees the set above
+            raise ValueError(f"unexpected basic gate {gate}")
+    if simplify:
+        out = _cancel_j0_pairs(out)
+    return Circuit(circuit.num_qubits, out)
+
+
+def _cancel_j0_pairs(gates: List[Gate]) -> List[Gate]:
+    """Cancel adjacent ``J(0) J(0)`` pairs on the same wire (fixpoint)."""
+    changed = True
+    while changed:
+        changed = False
+        out: List[Gate] = []
+        last_on_wire: dict = {}
+        for gate in gates:
+            if gate.name == "j" and _is_zero_angle(gate.params[0]):
+                q = gate.qubits[0]
+                prev_idx = last_on_wire.get(q)
+                prev = out[prev_idx] if prev_idx is not None else None
+                if (
+                    prev is not None
+                    and prev.name == "j"
+                    and prev.qubits == gate.qubits
+                    and _is_zero_angle(prev.params[0])
+                ):
+                    out.pop(prev_idx)
+                    _reindex(last_on_wire, prev_idx)
+                    changed = True
+                    continue
+            out.append(gate)
+            for q in gate.qubits:
+                last_on_wire[q] = len(out) - 1
+        gates = out
+    return gates

@@ -1,0 +1,128 @@
+"""Minimal OpenQASM 2.0 interop for the circuit IR.
+
+Supports the gate set this project uses; enough to exchange benchmark
+circuits with Qiskit-era tooling.  The importer handles the subset the
+exporter emits (one quantum register, no classical control).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import GATE_SIGNATURES, Gate
+
+#: IR name -> QASM name (identical where omitted).
+_TO_QASM = {
+    "i": "id",
+    "j": None,  # expanded to rz + h below
+}
+_FROM_QASM = {
+    "id": "i",
+    "u1": "p",
+}
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def to_qasm(circuit: Circuit, register: str = "q") -> str:
+    """Serialize *circuit* as OpenQASM 2.0 text."""
+    lines: List[str] = [_HEADER.rstrip(), f"qreg {register}[{circuit.num_qubits}];"]
+    for gate in circuit:
+        lines.append(_gate_to_qasm(gate, register))
+    return "\n".join(lines) + "\n"
+
+
+def _gate_to_qasm(gate: Gate, register: str) -> str:
+    name = gate.name
+    qubits = ",".join(f"{register}[{q}]" for q in gate.qubits)
+    if name == "j":
+        # J(a) = H Rz(a): two QASM statements
+        alpha = gate.params[0]
+        return (
+            f"rz({_fmt(alpha)}) {register}[{gate.qubits[0]}];\n"
+            f"h {register}[{gate.qubits[0]}];"
+        )
+    qasm_name = _TO_QASM.get(name, name)
+    if gate.params:
+        args = ",".join(_fmt(p) for p in gate.params)
+        return f"{qasm_name}({args}) {qubits};"
+    return f"{qasm_name} {qubits};"
+
+
+def _fmt(value: float) -> str:
+    """Render an angle, using pi fractions when exact."""
+    for denom in (1, 2, 3, 4, 6, 8):
+        for num in range(-8 * denom, 8 * denom + 1):
+            if num == 0:
+                continue
+            if abs(value - num * math.pi / denom) < 1e-12:
+                frac = f"pi/{denom}" if denom > 1 else "pi"
+                if num == 1:
+                    return frac
+                if num == -1:
+                    return f"-{frac}"
+                return f"{num}*{frac}"
+    if abs(value) < 1e-12:
+        return "0"
+    return repr(float(value))
+
+
+_STMT = re.compile(
+    r"^\s*(?P<name>[a-z][a-z0-9]*)\s*"
+    r"(?:\((?P<params>[^)]*)\))?\s*"
+    r"(?P<qubits>[^;]+);\s*$"
+)
+_QUBIT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*\[(\d+)\]$")
+
+
+def _eval_angle(text: str) -> float:
+    """Evaluate a QASM angle expression (numbers, pi, * / + -)."""
+    cleaned = text.strip().replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[0-9eE\.\+\-\*/\s\(\)]+", cleaned):
+        raise ValueError(f"unsupported angle expression: {text!r}")
+    return float(eval(cleaned, {"__builtins__": {}}))  # noqa: S307 - sanitized
+
+def from_qasm(text: str) -> Circuit:
+    """Parse OpenQASM 2.0 text produced by :func:`to_qasm` (or similar)."""
+    num_qubits = None
+    gates: List[Gate] = []
+    for raw in text.splitlines():
+        line = raw.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith(("OPENQASM", "include")):
+            continue
+        if line.startswith("qreg"):
+            match = re.match(r"qreg\s+\w+\[(\d+)\];", line)
+            if not match:
+                raise ValueError(f"cannot parse qreg: {line!r}")
+            if num_qubits is not None:
+                raise ValueError("only one quantum register is supported")
+            num_qubits = int(match.group(1))
+            continue
+        if line.startswith(("creg", "barrier", "measure")):
+            continue
+        match = _STMT.match(line)
+        if not match:
+            raise ValueError(f"cannot parse statement: {line!r}")
+        name = _FROM_QASM.get(match.group("name"), match.group("name"))
+        if name not in GATE_SIGNATURES:
+            raise ValueError(f"unsupported gate {name!r} in {line!r}")
+        params = ()
+        if match.group("params"):
+            params = tuple(
+                _eval_angle(p) for p in match.group("params").split(",")
+            )
+        qubits = []
+        for token in match.group("qubits").split(","):
+            qmatch = _QUBIT.match(token.strip())
+            if not qmatch:
+                raise ValueError(f"cannot parse qubit ref {token!r}")
+            qubits.append(int(qmatch.group(1)))
+        gates.append(Gate(name, tuple(qubits), params))
+    if num_qubits is None:
+        raise ValueError("no qreg declaration found")
+    return Circuit(num_qubits, gates)

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``compile``  — compile a benchmark (or QASM file) with OneQ and print
+  metrics and optionally the layer layouts;
+* ``baseline`` — run the baseline cluster-state interpreter;
+* ``table1`` / ``table2`` / ``fig12`` / ``fig13`` / ``fig15`` — regenerate
+  the paper's tables and figures;
+* ``export``   — emit a benchmark circuit as OpenQASM 2.0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baseline import compile_baseline, physical_side
+from repro.circuit import get_benchmark
+from repro.circuit.qasm import from_qasm, to_qasm
+from repro.core import OneQCompiler, OneQConfig, render_program
+from repro.hardware import HardwareConfig, get_resource_state
+
+
+def _add_hardware_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rows", type=int, default=None, help="RSG rows")
+    parser.add_argument("--cols", type=int, default=None, help="RSG cols")
+    parser.add_argument(
+        "--resource-state",
+        default="3-line",
+        choices=["3-line", "4-line", "4-star", "4-ring"],
+    )
+    parser.add_argument("--extension", type=int, default=1)
+    parser.add_argument("--max-delay", type=int, default=2)
+
+
+def _load_circuit(args) -> tuple:
+    if args.qasm:
+        with open(args.qasm) as handle:
+            return from_qasm(handle.read()), args.qasm
+    circuit = get_benchmark(args.benchmark, args.qubits, seed=args.seed)
+    return circuit, f"{args.benchmark}-{args.qubits}"
+
+
+def _hardware_from(args, num_qubits: int) -> HardwareConfig:
+    rst = get_resource_state(args.resource_state)
+    rows = args.rows
+    cols = args.cols
+    if rows is None and cols is None:
+        side = physical_side(num_qubits, rst)
+        rows = cols = side
+    elif rows is None or cols is None:
+        rows = cols = rows or cols
+    return HardwareConfig(
+        rows=rows,
+        cols=cols,
+        resource_state=rst,
+        extension=args.extension,
+        max_delay=args.max_delay,
+    )
+
+
+def cmd_compile(args) -> int:
+    circuit, name = _load_circuit(args)
+    hardware = _hardware_from(args, circuit.num_qubits)
+    compiler = OneQCompiler(OneQConfig(hardware=hardware))
+    program = compiler.compile(circuit, name=name)
+    if args.layout:
+        print(render_program(program, max_layers=args.layout))
+    else:
+        print(program.summary())
+    return 0
+
+
+def cmd_baseline(args) -> int:
+    circuit, name = _load_circuit(args)
+    result = compile_baseline(
+        circuit, name=name, resource_state=get_resource_state(args.resource_state)
+    )
+    print(
+        f"{name}: depth={result.depth} fusions={result.num_fusions:,} "
+        f"cluster={result.areas.cluster_side}x{result.areas.cluster_side} "
+        f"physical={result.areas.physical_side}x{result.areas.physical_side} "
+        f"swaps={result.swap_count}"
+    )
+    return 0
+
+
+def cmd_export(args) -> int:
+    circuit, _ = _load_circuit(args)
+    text = to_qasm(circuit)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_table(args, which: str) -> int:
+    from repro import eval as evaluation
+
+    if which == "table1":
+        print(evaluation.render_table1(evaluation.run_table1()))
+    elif which == "table2":
+        benchmarks = None
+        if args.quick:
+            benchmarks = [("QFT", 16), ("QAOA", 16), ("RCA", 16), ("BV", 16)]
+        print(evaluation.render_table2(evaluation.run_table2(benchmarks)))
+    elif which == "fig12":
+        print(evaluation.render_fig12(evaluation.run_fig12(num_qubits=args.qubits)))
+    elif which == "fig13":
+        print(evaluation.render_fig13(evaluation.run_fig13(num_qubits=args.qubits)))
+    elif which == "fig15":
+        print(evaluation.render_fig15(evaluation.run_fig15(num_qubits=args.qubits)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OneQ photonic one-way compilation framework (ISCA'23 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for cmd in ("compile", "baseline", "export"):
+        p = sub.add_parser(cmd)
+        p.add_argument("--benchmark", default="QFT", help="QFT|QAOA|RCA|BV")
+        p.add_argument("--qubits", type=int, default=16)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--qasm", help="compile a QASM file instead")
+        if cmd == "compile":
+            _add_hardware_args(p)
+            p.add_argument(
+                "--layout", type=int, default=0,
+                help="print the first N layer layouts",
+            )
+        elif cmd == "baseline":
+            p.add_argument(
+                "--resource-state", default="3-line",
+                choices=["3-line", "4-line", "4-star", "4-ring"],
+            )
+        else:
+            p.add_argument("--output", help="write QASM here")
+
+    for which in ("table1", "table2", "fig12", "fig13", "fig15"):
+        p = sub.add_parser(which)
+        p.add_argument("--qubits", type=int, default=16)
+        p.add_argument("--quick", action="store_true", help="16-qubit rows only")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "compile":
+        return cmd_compile(args)
+    if args.command == "baseline":
+        return cmd_baseline(args)
+    if args.command == "export":
+        return cmd_export(args)
+    return cmd_table(args, args.command)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

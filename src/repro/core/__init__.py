@@ -1,0 +1,70 @@
+"""The OneQ compiler: partitioning, fusion graphs, mapping and routing."""
+
+from repro.core.compiler import (
+    CompiledProgram,
+    OneQCompiler,
+    OneQConfig,
+    compile_circuit,
+)
+from repro.core.fusion_graph import (
+    FGNode,
+    FusionGraph,
+    build_fusion_graph,
+    verify_fusion_graph,
+)
+from repro.core.mapping import (
+    InLayerMapper,
+    LayerLayout,
+    MappingResult,
+    Placement,
+)
+from repro.core.partition import (
+    GraphPartition,
+    PartitionConfig,
+    cross_partition_edges,
+    partition_pattern,
+    required_degrees,
+    verify_partitioning,
+)
+from repro.core.planarity import (
+    is_planar,
+    maximal_planar_subgraph,
+    planar_edge_decomposition,
+    planar_embedding_order,
+)
+from repro.core.render import render_layer, render_program
+from repro.core.shuffling import ShuffleLayer, ShuffleResult, connect_pairs
+from repro.core.validate import ValidationError, assert_valid, validate_program
+
+__all__ = [
+    "CompiledProgram",
+    "FGNode",
+    "FusionGraph",
+    "GraphPartition",
+    "InLayerMapper",
+    "LayerLayout",
+    "MappingResult",
+    "OneQCompiler",
+    "OneQConfig",
+    "PartitionConfig",
+    "Placement",
+    "ShuffleLayer",
+    "ShuffleResult",
+    "ValidationError",
+    "assert_valid",
+    "validate_program",
+    "build_fusion_graph",
+    "compile_circuit",
+    "connect_pairs",
+    "cross_partition_edges",
+    "is_planar",
+    "maximal_planar_subgraph",
+    "partition_pattern",
+    "planar_edge_decomposition",
+    "planar_embedding_order",
+    "render_layer",
+    "render_program",
+    "required_degrees",
+    "verify_fusion_graph",
+    "verify_partitioning",
+]

@@ -1,0 +1,234 @@
+"""The end-to-end OneQ compiler (paper Fig. 1).
+
+Pipeline:  circuit -> measurement pattern (graph state + dependencies)
+-> graph partition & scheduling (Sec. 4) -> fusion graph generation
+(Sec. 5) -> fusion mapping & routing with inter-layer shuffling (Sec. 6).
+
+The two paper metrics fall out of the mapping:
+
+* **physical depth** — mapped (extended) layers x extension factor, plus
+  dynamically allocated shuffle layers;
+* **# fusions** — synthesis + edge + routing + shuffling fusions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.circuit import Circuit
+from repro.core.fusion_graph import FGNode, FusionGraph, build_fusion_graph
+from repro.core.mapping import InLayerMapper, LayerLayout, Placement
+from repro.core.partition import (
+    GraphPartition,
+    PartitionConfig,
+    partition_pattern,
+    required_degrees,
+)
+from repro.core.shuffling import connect_pairs
+from repro.hardware.coupling import HardwareConfig
+from repro.hardware.fusion import FusionTally
+from repro.mbqc.pattern import MeasurementPattern
+from repro.mbqc.translate import circuit_to_pattern
+
+
+@dataclass(frozen=True)
+class OneQConfig:
+    """All compiler knobs in one place."""
+
+    hardware: HardwareConfig
+    partition: PartitionConfig = PartitionConfig()
+    alpha: Optional[float] = None
+    use_embedding: bool = True
+    route_radius: int = 6
+    #: seed cross-partition ports near their earlier-layer counterparts
+    #: (shortens shuffle paths; disable for ablation)
+    use_placement_hints: bool = True
+
+
+@dataclass
+class CompiledProgram:
+    """The compiler's output record (metrics + layouts).
+
+    ``physical_depth`` and ``fusions.total`` are the paper's two
+    evaluation metrics (Sec. 7.1).
+    """
+
+    name: str
+    num_qubits: int
+    pattern_nodes: int
+    pattern_edges: int
+    num_partitions: int
+    mapping_layers: int
+    shuffle_layers: int
+    extension: int
+    fusions: FusionTally
+    layouts: List[LayerLayout] = field(default_factory=list)
+    resource_states_used: int = 0
+    deferred_pairs: int = 0
+
+    @property
+    def physical_depth(self) -> int:
+        return self.mapping_layers * self.extension + self.shuffle_layers
+
+    @property
+    def num_fusions(self) -> int:
+        return self.fusions.total
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: depth={self.physical_depth} "
+            f"fusions={self.num_fusions} "
+            f"(synthesis={self.fusions.synthesis}, edge={self.fusions.edge}, "
+            f"routing={self.fusions.routing}, shuffle={self.fusions.shuffling}) "
+            f"layers={self.mapping_layers}+{self.shuffle_layers} "
+            f"partitions={self.num_partitions}"
+        )
+
+
+class OneQCompiler:
+    """Compile circuits (or patterns) to photonic one-way programs."""
+
+    def __init__(self, config: OneQConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def compile(self, circuit: Circuit, name: str = "circuit") -> CompiledProgram:
+        """Full flow from a gate circuit."""
+        pattern = circuit_to_pattern(circuit)
+        return self.compile_pattern(pattern, name=name, num_qubits=circuit.num_qubits)
+
+    def compile_pattern(
+        self,
+        pattern: MeasurementPattern,
+        name: str = "pattern",
+        num_qubits: Optional[int] = None,
+    ) -> CompiledProgram:
+        """Compile an arbitrary measurement pattern (graph state program)."""
+        cfg = self.config
+        hardware = cfg.hardware
+        rst = hardware.resource_state
+
+        # Partition capacity defaults to one extended layer's area so each
+        # partition maps onto roughly one layer (dynamic scheduling).
+        part_cfg = cfg.partition
+        if part_cfg.target_states is None:
+            rows, cols = hardware.extended_shape
+            part_cfg = replace(
+                part_cfg, target_states=max(4, int(0.7 * rows * cols))
+            )
+        estimator = lambda node: rst.states_for_degree(  # noqa: E731
+            pattern.graph.degree(node)
+        )
+        partitions = partition_pattern(pattern, part_cfg, size_estimator=estimator)
+        home: Dict[int, int] = {}
+        for part in partitions:
+            for node in part.nodes:
+                home[node] = part.index
+
+        mapper = InLayerMapper(
+            shape=hardware.extended_shape,
+            resource_state=rst,
+            alpha=cfg.alpha,
+            route_radius=cfg.route_radius,
+        )
+        tally = FusionTally()
+        port_of: Dict[Tuple[int, int], FGNode] = {}
+        fusion_graphs: List[FusionGraph] = []
+        deferred: List[Tuple[FGNode, FGNode]] = []
+        resource_states = 0
+
+        for part in partitions:
+            cross_nbrs = {
+                node: [
+                    nbr
+                    for nbr in pattern.graph.neighbors(node)
+                    if home[nbr] != part.index
+                ]
+                for node in part.nodes
+            }
+            degrees = required_degrees(part, pattern.graph)
+            fusion = build_fusion_graph(
+                part.subgraph,
+                degrees,
+                rst,
+                cross_neighbors=cross_nbrs,
+                use_embedding=cfg.use_embedding,
+            )
+            fusion_graphs.append(fusion)
+            port_of.update(fusion.port_of)
+            resource_states += fusion.num_resource_states
+            hints: Dict[FGNode, Tuple[int, int]] = {}
+            if cfg.use_placement_hints:
+                for u, v in part.back_edges:
+                    src_port = port_of.get((u, v))
+                    dst_port = fusion.port_of.get((v, u))
+                    if src_port is None or dst_port is None:
+                        continue
+                    placed = mapper.placements.get(src_port)
+                    if placed is not None:
+                        hints[dst_port] = placed.coord
+            result = mapper.map_fusion_graph(fusion, hints=hints)
+            tally.add("synthesis", result.synthesis_fusions)
+            tally.add("edge", result.edge_fusions)
+            tally.add("routing", result.routing_fusions)
+            deferred.extend(result.deferred_edges)
+
+        # ---- inter-layer shuffling -----------------------------------
+        pairs_by_boundary: Dict[int, List[Tuple[Tuple[int, int], Tuple[int, int]]]] = {}
+
+        def add_pair(pa: Placement, pb: Placement) -> None:
+            boundary = max(pa.layer, pb.layer)
+            pairs_by_boundary.setdefault(boundary, []).append((pa.coord, pb.coord))
+
+        for a, b in deferred:
+            add_pair(mapper.placements[a], mapper.placements[b])
+        for part in partitions:
+            for u, v in part.back_edges:
+                pu = port_of.get((u, v))
+                pv = port_of.get((v, u))
+                if pu is None or pv is None:  # pragma: no cover - invariant
+                    raise RuntimeError(f"missing port for cross edge {(u, v)}")
+                add_pair(mapper.placements[pu], mapper.placements[pv])
+
+        shuffle_layers = 0
+        for boundary in sorted(pairs_by_boundary):
+            result = connect_pairs(
+                pairs_by_boundary[boundary], hardware.extended_shape
+            )
+            tally.add("shuffling", result.fusions)
+            shuffle_layers += result.num_layers
+            resource_states += sum(len(l.used) for l in result.layers)
+
+        # ---- photon bookkeeping --------------------------------------
+        aux_cells = sum(len(l.aux_cells) for l in mapper.layers)
+        resource_states += aux_cells
+        photons = resource_states * rst.size
+        consumed = 2 * tally.total + pattern.graph.number_of_nodes()
+        tally.z_measurements = max(0, photons - consumed)
+
+        return CompiledProgram(
+            name=name,
+            num_qubits=num_qubits or len(pattern.inputs),
+            pattern_nodes=pattern.graph.number_of_nodes(),
+            pattern_edges=pattern.graph.number_of_edges(),
+            num_partitions=len(partitions),
+            mapping_layers=len(mapper.layers),
+            shuffle_layers=shuffle_layers,
+            extension=hardware.extension,
+            fusions=tally,
+            layouts=mapper.layers,
+            resource_states_used=resource_states,
+            deferred_pairs=sum(len(v) for v in pairs_by_boundary.values()),
+        )
+
+
+def compile_circuit(
+    circuit: Circuit,
+    hardware: HardwareConfig,
+    name: str = "circuit",
+    **kwargs,
+) -> CompiledProgram:
+    """Convenience one-call compile with default configuration."""
+    config = OneQConfig(hardware=hardware, **kwargs)
+    return OneQCompiler(config).compile(circuit, name=name)

@@ -1,0 +1,199 @@
+"""Fusion graph generation (paper Sec. 5).
+
+A partition's graph-state subgraph is synthesized from resource states
+using the three basic fusion patterns (degree increment, line extension,
+graph connection).  The output is a *fusion graph*: one node per resource
+state ('⊗' in the paper's figures), one edge per fusion.  Two edge kinds
+exist at this stage:
+
+* ``chain`` — synthesis fusions building a high-degree node out of a
+  chain of resource states (Fig. 8c);
+* ``edge`` — fusions realizing actual graph-state edges between two
+  nodes' resource states (Fig. 7c).
+
+Routing/shuffling fusions are added later by the mapper.  The generator
+is coupling-agnostic (Sec. 5): it only respects resource-state port
+capacities, and — when the subgraph is planar — the rotational edge order
+of a planar embedding, which keeps the fusion graph planar (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.planarity import planar_embedding_order
+from repro.hardware.resource_state import ResourceStateType
+
+#: A fusion-graph node: (origin graph-state node, chain position).
+FGNode = Tuple[int, int]
+
+
+@dataclass
+class FusionGraph:
+    """The synthesized fusion strategy for one partition.
+
+    Attributes:
+        graph: fusion graph; nodes are :data:`FGNode`, edges carry
+            ``kind`` ('chain' or 'edge').
+        chains: origin node -> its chain of fusion-graph nodes in order.
+        port_of: (node, neighbour) -> fusion-graph node that exposes the
+            photon for the edge towards ``neighbour``.  Covers both
+            in-partition edges and cross-partition stubs.
+        synthesis_fusions: number of 'chain' edges.
+        edge_fusions: number of 'edge' edges.
+    """
+
+    graph: nx.Graph
+    chains: Dict[int, List[FGNode]]
+    port_of: Dict[Tuple[int, int], FGNode]
+    synthesis_fusions: int = 0
+    edge_fusions: int = 0
+    planar: bool = False
+
+    @property
+    def num_resource_states(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def origin_of(self, fg_node: FGNode) -> int:
+        return fg_node[0]
+
+
+@dataclass
+class _ChainState:
+    """Port bookkeeping while assigning edges to a node's chain."""
+
+    nodes: List[FGNode]
+    free: List[int] = field(default_factory=list)
+    cursor: int = 0
+
+    def take_port(self) -> FGNode:
+        while self.cursor < len(self.nodes) and self.free[self.cursor] == 0:
+            self.cursor += 1
+        if self.cursor >= len(self.nodes):
+            raise RuntimeError("chain ran out of ports; capacity bug")
+        self.free[self.cursor] -= 1
+        return self.nodes[self.cursor]
+
+
+def build_fusion_graph(
+    subgraph: nx.Graph,
+    degrees: Dict[int, int],
+    resource_state: ResourceStateType,
+    cross_neighbors: Optional[Dict[int, List[int]]] = None,
+    use_embedding: bool = True,
+) -> FusionGraph:
+    """Synthesize *subgraph* (one partition) from *resource_state*s.
+
+    Args:
+        subgraph: the partition's induced graph-state subgraph.
+        degrees: total port demand per node (in-partition + cross edges).
+        resource_state: the hardware's emitted state type.
+        cross_neighbors: node -> neighbours living in other partitions;
+            ports are reserved for them (used as shuffle stubs).
+        use_embedding: preserve a planar embedding's rotational edge
+            order when one exists (planarity preservation, Fig. 9).
+    """
+    cross_neighbors = cross_neighbors or {}
+    size = resource_state.size
+
+    embedding_order = planar_embedding_order(subgraph) if use_embedding else None
+
+    fg = nx.Graph()
+    chains: Dict[int, List[FGNode]] = {}
+    states: Dict[int, _ChainState] = {}
+    synthesis = 0
+
+    for node in subgraph.nodes():
+        demand = degrees.get(node, subgraph.degree(node))
+        k = resource_state.states_for_degree(demand)
+        chain = [(node, i) for i in range(k)]
+        chains[node] = chain
+        fg.add_nodes_from(chain)
+        for a, b in zip(chain, chain[1:]):
+            fg.add_edge(a, b, kind="chain")
+            synthesis += 1
+        free = []
+        for i in range(k):
+            chain_links = 0 if k == 1 else (1 if i in (0, k - 1) else 2)
+            free.append(size - chain_links)
+        if sum(free) < demand:
+            raise RuntimeError(
+                f"node {node}: chain of {k} states exposes {sum(free)} "
+                f"ports < demand {demand}"
+            )
+        states[node] = _ChainState(nodes=chain, free=free)
+
+    port_of: Dict[Tuple[int, int], FGNode] = {}
+
+    def neighbor_sequence(node: int) -> List[int]:
+        in_part = (
+            embedding_order[node]
+            if embedding_order is not None
+            else sorted(subgraph.neighbors(node))
+        )
+        return list(in_part) + sorted(cross_neighbors.get(node, []))
+
+    # reserve ports in rotational order (planarity preservation)
+    for node in subgraph.nodes():
+        for nbr in neighbor_sequence(node):
+            port_of[(node, nbr)] = states[node].take_port()
+
+    edge_fusions = 0
+    for u, v in subgraph.edges():
+        pu = port_of[(u, v)]
+        pv = port_of[(v, u)]
+        fg.add_edge(pu, pv, kind="edge")
+        edge_fusions += 1
+
+    planar = embedding_order is not None
+    return FusionGraph(
+        graph=fg,
+        chains=chains,
+        port_of=port_of,
+        synthesis_fusions=synthesis,
+        edge_fusions=edge_fusions,
+        planar=planar,
+    )
+
+
+def verify_fusion_graph(
+    fusion: FusionGraph,
+    subgraph: nx.Graph,
+    resource_state: ResourceStateType,
+) -> Tuple[bool, str]:
+    """Structural invariants of a generated fusion graph.
+
+    * every fusion-graph node has degree at most the photon count;
+    * contracting every chain back to its origin recovers exactly the
+      partition subgraph (so the fusion strategy synthesizes the right
+      graph state);
+    * the fusion graph of a planar partition is planar.
+    """
+    cap = resource_state.fusion_capacity()
+    for fg_node in fusion.graph.nodes():
+        if fusion.graph.degree(fg_node) > cap:
+            return False, f"{fg_node} exceeds fusion capacity {cap}"
+    contracted = nx.Graph()
+    contracted.add_nodes_from(n for n in fusion.chains)
+    for a, b, data in fusion.graph.edges(data=True):
+        if data["kind"] == "edge":
+            u, v = a[0], b[0]
+            if u == v:
+                return False, f"edge fusion within one chain: {a}-{b}"
+            if contracted.has_edge(u, v):
+                return False, f"duplicate edge fusion {u}-{v}"
+            contracted.add_edge(u, v)
+    same_nodes = set(contracted.nodes()) == set(subgraph.nodes())
+    same_edges = {frozenset(e) for e in contracted.edges()} == {
+        frozenset(e) for e in subgraph.edges()
+    }
+    if not (same_nodes and same_edges):
+        return False, "contracted fusion graph does not match subgraph"
+    if fusion.planar:
+        ok, _ = nx.check_planarity(fusion.graph, counterexample=False)
+        if not ok:
+            return False, "fusion graph broke planarity"
+    return True, "ok"

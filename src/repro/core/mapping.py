@@ -1,0 +1,623 @@
+"""Fusion mapping and routing (paper Sec. 6): in-layer heuristic search.
+
+Embeds the irregular fusion graph into the regular grid of one (possibly
+extended) physical layer after another.  Edges are traversed in
+cycle-prioritized BFS order; each edge is realized either by placing the
+new endpoint on an adjacent cell or by *fusion routing* — a path of
+auxiliary resource states winding along the lattice (each auxiliary cell
+burns two photons and can carry only one path for small resource states).
+Candidate placements are scored with the paper's cost function
+
+    ``H = occupied_area + #partially_blocked + alpha * #totally_blocked``
+
+where a node is blocked when its remaining unmapped edges exceed its free
+adjacent cells.  Nodes whose edges cannot all be realized within a layer
+are *incomplete*; their leftover edges are handed to inter-layer
+shuffling (:mod:`repro.core.shuffling`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.fusion_graph import FGNode, FusionGraph
+from repro.hardware.resource_state import ResourceStateType
+
+Coord = Tuple[int, int]
+
+
+@dataclass
+class LayerLayout:
+    """One mapped (extended) physical layer, for metrics and rendering."""
+
+    index: int
+    shape: Tuple[int, int]
+    node_at: Dict[Coord, FGNode] = field(default_factory=dict)
+    aux_cells: Set[Coord] = field(default_factory=set)
+    paths: List[List[Coord]] = field(default_factory=list)
+    incomplete: Set[FGNode] = field(default_factory=set)
+
+    @property
+    def occupied(self) -> int:
+        return len(self.node_at) + len(self.aux_cells)
+
+
+@dataclass(frozen=True)
+class Placement:
+    layer: int
+    coord: Coord
+
+
+@dataclass
+class MappingResult:
+    """Outcome of mapping one partition's fusion graph."""
+
+    layers: List[LayerLayout]
+    placements: Dict[FGNode, Placement]
+    edge_fusions: int = 0
+    synthesis_fusions: int = 0
+    routing_fusions: int = 0
+    deferred_edges: List[Tuple[FGNode, FGNode]] = field(default_factory=list)
+
+
+class InLayerMapper:
+    """Stateful mapper: one instance maps all partitions of a program."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        resource_state: ResourceStateType,
+        alpha: Optional[float] = None,
+        route_radius: int = 6,
+    ):
+        rows, cols = shape
+        if rows < 2 or cols < 2:
+            raise ValueError("layer must be at least 2x2")
+        self.shape = shape
+        self.resource_state = resource_state
+        # paper: alpha > 1, typically the max degree of the physical layer
+        self.alpha = float(alpha) if alpha is not None else 4.0
+        self.route_radius = route_radius
+        self.layers: List[LayerLayout] = []
+        self.placements: Dict[FGNode, Placement] = {}
+        self._hints: Dict[FGNode, Coord] = {}
+        self._reset_layer_state()
+
+    # ------------------------------------------------------------------
+    # layer lifecycle
+    # ------------------------------------------------------------------
+    def _reset_layer_state(self) -> None:
+        self._occupied: Dict[Coord, object] = {}
+        self._remaining: Dict[FGNode, int] = {}
+        self._realized: Dict[FGNode, int] = {}
+        self._rect: Optional[Tuple[int, int, int, int]] = None
+        self._current: Optional[LayerLayout] = None
+
+    def _open_layer(self) -> LayerLayout:
+        layout = LayerLayout(index=len(self.layers), shape=self.shape)
+        self.layers.append(layout)
+        self._reset_layer_state()
+        self._current = layout
+        return layout
+
+    def _close_layer(self) -> None:
+        if self._current is None:
+            return
+        for coord, node in self._current.node_at.items():
+            if self._remaining.get(node, 0) > 0:
+                self._current.incomplete.add(node)
+        self._current = None
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    def _in_bounds(self, coord: Coord) -> bool:
+        r, c = coord
+        return 0 <= r < self.shape[0] and 0 <= c < self.shape[1]
+
+    def _neighbors(self, coord: Coord) -> List[Coord]:
+        r, c = coord
+        return [
+            p
+            for p in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1))
+            if self._in_bounds(p)
+        ]
+
+    def _free(self, coord: Coord) -> bool:
+        return coord not in self._occupied
+
+    def _free_neighbor_count(self, coord: Coord) -> int:
+        return sum(1 for p in self._neighbors(coord) if self._free(p))
+
+    # ------------------------------------------------------------------
+    # cost function H
+    # ------------------------------------------------------------------
+    def _rect_area_with(self, extra: List[Coord]) -> int:
+        coords = extra
+        rect = self._rect
+        if rect is None:
+            xs = [c[0] for c in coords]
+            ys = [c[1] for c in coords]
+            if not xs:
+                return 0
+            return (max(xs) - min(xs) + 1) * (max(ys) - min(ys) + 1)
+        x0, y0, x1, y1 = rect
+        for (r, c) in coords:
+            x0, y0 = min(x0, r), min(y0, c)
+            x1, y1 = max(x1, r), max(y1, c)
+        return (x1 - x0 + 1) * (y1 - y0 + 1)
+
+    def _blockage_score(self, node: FGNode, coord: Coord, occupied_extra) -> float:
+        """Blockage contribution of one placed node given extra occupancy."""
+        remaining = self._remaining.get(node, 0)
+        if remaining <= 0:
+            return 0.0
+        free = sum(
+            1
+            for p in self._neighbors(coord)
+            if self._free(p) and p not in occupied_extra
+        )
+        if free == 0:
+            return self.alpha
+        if remaining > free:
+            return 1.0
+        return 0.0
+
+    def _score_candidate(
+        self,
+        new_cells: List[Coord],
+        new_node: Optional[FGNode],
+        node_cell: Optional[Coord],
+        remaining_after: Dict[FGNode, int],
+    ) -> float:
+        """H after hypothetically occupying *new_cells*.
+
+        Only nodes adjacent to the new cells (plus the new node) can
+        change blockage, so the score is the area term plus local
+        blockage deltas; the constant global part cancels in comparisons.
+        """
+        occupied_extra = set(new_cells)
+        score = float(self._rect_area_with(new_cells))
+        affected: Set[Tuple[FGNode, Coord]] = set()
+        for cell in new_cells:
+            for p in self._neighbors(cell):
+                occ = self._occupied.get(p)
+                if isinstance(occ, tuple) and occ in self._remaining:
+                    place = self.placements.get(occ)
+                    if place is not None and place.layer == len(self.layers) - 1:
+                        affected.add((occ, place.coord))
+        saved = dict(self._remaining)
+        try:
+            self._remaining.update(remaining_after)
+            for node, coord in affected:
+                score += self._blockage_score(node, coord, occupied_extra)
+            if new_node is not None and node_cell is not None:
+                score += self._blockage_score(new_node, node_cell, occupied_extra)
+        finally:
+            self._remaining = saved
+        return score
+
+    # ------------------------------------------------------------------
+    # placement primitives
+    # ------------------------------------------------------------------
+    def _place_node(self, node: FGNode, coord: Coord, degree: int) -> None:
+        assert self._current is not None
+        if not self._free(coord):
+            raise RuntimeError(f"cell {coord} already occupied")
+        self._occupied[coord] = node
+        self._current.node_at[coord] = node
+        self.placements[node] = Placement(len(self.layers) - 1, coord)
+        self._remaining[node] = degree
+        self._realized[node] = 0
+        if self._rect is None:
+            self._rect = (coord[0], coord[1], coord[0], coord[1])
+        else:
+            x0, y0, x1, y1 = self._rect
+            self._rect = (
+                min(x0, coord[0]),
+                min(y0, coord[1]),
+                max(x1, coord[0]),
+                max(y1, coord[1]),
+            )
+
+    def _mark_aux(self, cells: List[Coord]) -> None:
+        assert self._current is not None
+        for cell in cells:
+            self._occupied[cell] = "aux"
+            self._current.aux_cells.add(cell)
+            if self._rect is None:
+                self._rect = (cell[0], cell[1], cell[0], cell[1])
+            else:
+                x0, y0, x1, y1 = self._rect
+                self._rect = (
+                    min(x0, cell[0]),
+                    min(y0, cell[1]),
+                    max(x1, cell[0]),
+                    max(y1, cell[1]),
+                )
+
+    def _consume(self, node: FGNode, count: int = 1) -> None:
+        self._remaining[node] = self._remaining.get(node, 0) - count
+        self._realized[node] = self._realized.get(node, 0) + count
+
+    def _node_capacity_left(self, node: FGNode) -> int:
+        """Photons left on the node's resource state for more fusions."""
+        return self.resource_state.size - self._realized.get(node, 0)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _bfs_path(
+        self,
+        start: Coord,
+        goal_test,
+        max_len: Optional[int] = None,
+        avoid: Optional[Set[Coord]] = None,
+    ) -> Optional[List[Coord]]:
+        """Shortest path from *start* through free cells.
+
+        ``start`` itself may be occupied (it is the source node's cell);
+        every interior cell must be free.  Returns the full path including
+        both endpoints, or None.
+        """
+        avoid = avoid or set()
+        queue = deque([start])
+        parent: Dict[Coord, Optional[Coord]] = {start: None}
+        while queue:
+            cur = queue.popleft()
+            depth = 0
+            # reconstruct depth lazily only when needed for max_len
+            if max_len is not None:
+                d, p = 0, cur
+                while parent[p] is not None:
+                    p = parent[p]
+                    d += 1
+                depth = d
+                if depth >= max_len:
+                    continue
+            for nxt in self._neighbors(cur):
+                if nxt in parent or nxt in avoid:
+                    continue
+                if goal_test(nxt, cur):
+                    parent[nxt] = cur
+                    path = [nxt]
+                    back: Optional[Coord] = cur
+                    while back is not None:
+                        path.append(back)
+                        back = parent[back]
+                    path.reverse()
+                    return path
+                if self._free(nxt):
+                    parent[nxt] = cur
+                    queue.append(nxt)
+        return None
+
+    # ------------------------------------------------------------------
+    # main entry
+    # ------------------------------------------------------------------
+    def map_fusion_graph(
+        self,
+        fusion: FusionGraph,
+        hints: Optional[Dict[FGNode, Coord]] = None,
+    ) -> MappingResult:
+        """Map one partition's fusion graph, opening layers as needed.
+
+        ``hints`` suggests a grid location per node (the compiler passes
+        the coordinates of cross-partition counterparts so that shuffle
+        paths between partitions stay short).
+        """
+        graph = fusion.graph
+        self._hints = hints or {}
+        self._open_layer()
+        start_layer = len(self.layers) - 1
+
+        edge_fusions = 0
+        synthesis_fusions = 0
+        routing_fusions = 0
+        deferred: List[Tuple[FGNode, FGNode]] = []
+
+        def count_realized(a: FGNode, b: FGNode) -> None:
+            nonlocal edge_fusions, synthesis_fusions
+            kind = graph.edges[a, b].get("kind", "edge")
+            if kind == "chain":
+                synthesis_fusions += 1
+            else:
+                edge_fusions += 1
+
+        pending = list(_edge_order(graph))
+        isolated = [v for v in graph.nodes() if graph.degree(v) == 0]
+        for node in isolated:
+            coord = self._find_free_cell_near(None)
+            if coord is None:
+                self._close_layer()
+                self._open_layer()
+                coord = self._find_free_cell_near(None)
+                if coord is None:  # pragma: no cover - layer can't be full here
+                    raise RuntimeError("empty layer has no free cell")
+            self._place_node(node, coord, 0)
+
+        guard = 0
+        while pending:
+            guard += 1
+            if guard > 20 * (len(pending) + graph.number_of_edges() + 1) + 1000:
+                raise RuntimeError("mapper failed to make progress")
+            spill: List[Tuple[FGNode, FGNode]] = []
+            progressed = False
+            for (a, b) in pending:
+                outcome = self._realize_edge(a, b, graph)
+                if outcome == "edge":
+                    count_realized(a, b)
+                    progressed = True
+                elif isinstance(outcome, int):
+                    count_realized(a, b)
+                    routing_fusions += outcome
+                    progressed = True
+                elif outcome == "defer":
+                    deferred.append((a, b))
+                    self._consume_if_placed(a)
+                    self._consume_if_placed(b)
+                    progressed = True
+                else:  # "spill": retry on a fresh layer
+                    spill.append((a, b))
+            pending = spill
+            if pending and not progressed:
+                # nothing fit this layer: start a new one
+                self._close_layer()
+                self._open_layer()
+            elif pending:
+                self._close_layer()
+                self._open_layer()
+        self._close_layer()
+
+        return MappingResult(
+            layers=self.layers[start_layer:],
+            placements=self.placements,
+            edge_fusions=edge_fusions,
+            synthesis_fusions=synthesis_fusions,
+            routing_fusions=routing_fusions,
+            deferred_edges=deferred,
+        )
+
+    # ------------------------------------------------------------------
+    def _consume_if_placed(self, node: FGNode) -> None:
+        place = self.placements.get(node)
+        if place is not None and place.layer == len(self.layers) - 1:
+            self._consume(node)
+
+    def _is_current(self, node: FGNode) -> bool:
+        place = self.placements.get(node)
+        return place is not None and place.layer == len(self.layers) - 1
+
+    def _realize_edge(self, a: FGNode, b: FGNode, graph: nx.Graph):
+        """Attempt one edge.  Returns:
+
+        * ``"edge"`` — realized by direct adjacency (1 fusion);
+        * ``int k`` — realized via routing with ``k`` extra fusions;
+        * ``"spill"`` — endpoint could not be placed; retry next layer;
+        * ``"defer"`` — both endpoints are stuck in old layers; needs
+          inter-layer shuffling.
+        """
+        a_cur, b_cur = self._is_current(a), self._is_current(b)
+        a_old = a in self.placements and not a_cur
+        b_old = b in self.placements and not b_cur
+
+        if a_old and (b_old or b_cur):
+            return "defer"
+        if b_old and a_cur:
+            return "defer"
+        if a_old:  # b unplaced: place b near a's old coordinate, defer edge
+            placed = self._place_new_node(
+                b, graph, near=self.placements[a].coord, budget_for_edge=False
+            )
+            return "defer" if placed else "spill"
+        if b_old:
+            placed = self._place_new_node(
+                a, graph, near=self.placements[b].coord, budget_for_edge=False
+            )
+            return "defer" if placed else "spill"
+
+        if not a_cur and not b_cur:
+            # new component (or fresh layer): seed one endpoint
+            seed = a if graph.degree(a) >= graph.degree(b) else b
+            near = self._hints.get(seed, self._hints.get(a, self._hints.get(b)))
+            if not self._place_new_node(seed, graph, near=near, budget_for_edge=False):
+                return "spill"
+            a_cur, b_cur = self._is_current(a), self._is_current(b)
+
+        if a_cur and b_cur:
+            return self._connect_placed(a, b)
+
+        placed_node, new_node = (a, b) if a_cur else (b, a)
+        return self._attach_new(placed_node, new_node, graph)
+
+    # ------------------------------------------------------------------
+    def _connect_placed(self, a: FGNode, b: FGNode):
+        """Route an edge between two already-placed nodes (same layer)."""
+        if self._node_capacity_left(a) <= 0 or self._node_capacity_left(b) <= 0:
+            return "defer"
+        ca = self.placements[a].coord
+        cb = self.placements[b].coord
+        if cb in self._neighbors(ca):
+            self._consume(a)
+            self._consume(b)
+            assert self._current is not None
+            self._current.paths.append([ca, cb])
+            return "edge"
+        path = self._bfs_path(ca, lambda nxt, cur: nxt == cb)
+        if path is None:
+            return "defer"
+        interior = path[1:-1]
+        self._mark_aux(interior)
+        self._consume(a)
+        self._consume(b)
+        assert self._current is not None
+        self._current.paths.append(path)
+        return len(path) - 2  # routing fusions beyond the 1 edge fusion
+
+    def _attach_new(self, placed: FGNode, new: FGNode, graph: nx.Graph):
+        """Place *new* adjacent to *placed* (directly or via routing)."""
+        if self._node_capacity_left(placed) <= 0:
+            # port exhausted by routing overhead; hand to shuffling
+            if self._place_new_node(
+                new, graph, near=self.placements[placed].coord, budget_for_edge=False
+            ):
+                return "defer"
+            return "spill"
+        cp = self.placements[placed].coord
+        degree = graph.degree(new)
+        after = {
+            placed: self._remaining.get(placed, 0) - 1,
+            new: degree - 1,
+        }
+        # direct candidates: free cells adjacent to the anchor
+        options: List[Tuple[float, Coord, Optional[List[Coord]]]] = []
+        for cell in self._neighbors(cp):
+            if self._free(cell):
+                score = self._score_candidate([cell], new, cell, after)
+                options.append((score, cell, None))
+        # routing is triggered when direct mapping is impossible or when
+        # every direct option blocks a node (score carries an alpha term)
+        need_routing = not options or min(s for s, _, _ in options) >= self.alpha
+        if need_routing:
+            needed = max(1, min(degree - 1, 3))
+            for path in self._routed_targets(cp, needed):
+                target = path[-1]
+                cells = path[1:]
+                score = self._score_candidate(cells, new, target, after)
+                # prefer direct edges when scores tie: each aux cell costs
+                # a fusion, which H does not see
+                score += 0.25 * (len(path) - 2)
+                options.append((score, target, path))
+        if not options:
+            return "spill"
+        _, best, path = min(options, key=lambda o: (o[0], o[1]))
+        self._place_node(new, best, degree)
+        self._consume(placed)
+        self._consume(new)
+        assert self._current is not None
+        if path is None:
+            self._current.paths.append([cp, best])
+            return "edge"
+        self._mark_aux(path[1:-1])
+        self._current.paths.append(path)
+        return len(path) - 2
+
+    def _routed_targets(
+        self, start: Coord, needed: int, limit: int = 6
+    ) -> List[List[Coord]]:
+        """Up to *limit* shortest free paths to roomy cells around *start*.
+
+        Routing paths have length >= 2 (at least one auxiliary state), as
+        in the paper; each returned path includes both endpoints.
+        """
+        results: List[List[Coord]] = []
+        queue = deque([start])
+        parent: Dict[Coord, Optional[Coord]] = {start: None}
+        depth = {start: 0}
+        while queue and len(results) < limit:
+            cur = queue.popleft()
+            if depth[cur] >= self.route_radius:
+                continue
+            for nxt in self._neighbors(cur):
+                if nxt in parent or not self._free(nxt):
+                    continue
+                parent[nxt] = cur
+                depth[nxt] = depth[cur] + 1
+                if depth[nxt] >= 2 and self._free_neighbor_count(nxt) >= needed:
+                    path = [nxt]
+                    back: Optional[Coord] = cur
+                    while back is not None:
+                        path.append(back)
+                        back = parent[back]
+                    path.reverse()
+                    results.append(path)
+                queue.append(nxt)
+        return results
+
+    def _place_new_node(
+        self,
+        node: FGNode,
+        graph: nx.Graph,
+        near: Optional[Coord],
+        budget_for_edge: bool,
+    ) -> bool:
+        """Place a node with no in-layer anchor (seed or stub neighbour)."""
+        degree = graph.degree(node)
+        if near is None:
+            near = self._hints.get(node)
+        coord = self._find_free_cell_near(near)
+        if coord is None:
+            return False
+        self._place_node(node, coord, degree)
+        if budget_for_edge:
+            self._consume(node)
+        return True
+
+    def _find_free_cell_near(self, near: Optional[Coord]) -> Optional[Coord]:
+        rows, cols = self.shape
+        if near is None:
+            if self._rect is not None:
+                # seed new components beside the existing region
+                x0, y0, x1, y1 = self._rect
+                near = (min(rows - 1, x1 + 2), min(cols - 1, (y0 + y1) // 2))
+            else:
+                near = (rows // 2, cols // 2)
+        if self._free(near) and self._free_neighbor_count(near) >= 1:
+            return near
+        # spiral BFS outward over all cells (not only free-connected ones)
+        queue = deque([near])
+        seen = {near}
+        while queue:
+            cur = queue.popleft()
+            for nxt in self._neighbors(cur):
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                if self._free(nxt):
+                    return nxt
+                queue.append(nxt)
+        return None
+
+
+def _edge_order(graph: nx.Graph) -> List[Tuple[FGNode, FGNode]]:
+    """Cycle-prioritized BFS edge order (Sec. 6).
+
+    Edges on cycles come before bridges at each BFS step, because tree
+    edges are flexible and can be mapped around a committed cycle layout.
+    """
+    if graph.number_of_edges() == 0:
+        return []
+    bridges = {frozenset(e) for e in nx.bridges(graph)}
+    order: List[Tuple[FGNode, FGNode]] = []
+    seen_edges: Set[frozenset] = set()
+    visited: Set[FGNode] = set()
+    components = sorted(
+        nx.connected_components(graph), key=len, reverse=True
+    )
+    for comp in components:
+        start = max(comp, key=lambda v: (graph.degree(v), v))
+        visited.add(start)
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            nbrs = sorted(
+                graph.neighbors(u),
+                key=lambda w: (
+                    frozenset((u, w)) in bridges,  # cycle edges first
+                    -graph.degree(w),
+                    w,
+                ),
+            )
+            for w in nbrs:
+                e = frozenset((u, w))
+                if e not in seen_edges:
+                    seen_edges.add(e)
+                    order.append((u, w))
+                if w not in visited:
+                    visited.add(w)
+                    queue.append(w)
+    return order

@@ -1,0 +1,94 @@
+"""Planarity utilities (paper Sec. 4 'Graph Planarization', Sec. 5).
+
+Small resource states admit at most one routing path per coupling-graph
+location, so only planar graphs can be laid out on a single physical
+layer.  The compiler therefore (a) checks planarity when accumulating
+dependency layers into partitions, (b) decomposes non-planar layers into
+maximal planar edge-subgraphs, and (c) threads the planar embedding's
+rotational edge order through fusion-graph generation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+
+def is_planar(graph: nx.Graph) -> bool:
+    """True when *graph* admits a planar embedding."""
+    ok, _ = nx.check_planarity(graph, counterexample=False)
+    return bool(ok)
+
+
+def planar_embedding_order(
+    graph: nx.Graph,
+) -> Optional[Dict[Hashable, List[Hashable]]]:
+    """Clockwise neighbour order per node from a planar embedding.
+
+    Returns ``None`` when the graph is non-planar.  The rotational order
+    is what fusion-graph generation must preserve to keep the synthesized
+    graph planar (Fig. 9d vs 9e).
+    """
+    ok, embedding = nx.check_planarity(graph, counterexample=False)
+    if not ok:
+        return None
+    order: Dict[Hashable, List[Hashable]] = {}
+    for node in graph.nodes():
+        neighbors = list(graph.neighbors(node))
+        if not neighbors:
+            order[node] = []
+            continue
+        order[node] = list(embedding.neighbors_cw_order(node))
+    return order
+
+
+def maximal_planar_subgraph(
+    graph: nx.Graph,
+) -> Tuple[nx.Graph, List[Tuple[Hashable, Hashable]]]:
+    """Greedy maximal planar edge-subgraph of *graph*.
+
+    Returns ``(planar_subgraph, leftover_edges)`` where adding any
+    leftover edge to the subgraph would break planarity (the paper's
+    repeated decomposition for non-planar dependency layers).  Greedy
+    insertion is the standard polynomial heuristic; exact maximum planar
+    subgraph is NP-hard.
+    """
+    sub = nx.Graph()
+    sub.add_nodes_from(graph.nodes())
+    leftover: List[Tuple[Hashable, Hashable]] = []
+    # a spanning forest is always planar: seed with it for a good start
+    forest_edges = set()
+    for tree in nx.minimum_spanning_edges(graph, data=False):
+        forest_edges.add(frozenset(tree))
+        sub.add_edge(*tree)
+    for u, v in graph.edges():
+        if frozenset((u, v)) in forest_edges:
+            continue
+        sub.add_edge(u, v)
+        if not is_planar(sub):
+            sub.remove_edge(u, v)
+            leftover.append((u, v))
+    return sub, leftover
+
+
+def planar_edge_decomposition(
+    graph: nx.Graph,
+) -> List[nx.Graph]:
+    """Decompose *graph* into planar edge-subgraphs on the same nodes.
+
+    Repeatedly strips a maximal planar subgraph until no edges remain
+    (terminates because each round removes at least a spanning forest of
+    the leftovers).
+    """
+    pieces: List[nx.Graph] = []
+    remaining = graph.copy()
+    while remaining.number_of_edges() > 0:
+        planar, leftover = maximal_planar_subgraph(remaining)
+        pieces.append(planar)
+        remaining = nx.Graph()
+        remaining.add_nodes_from(graph.nodes())
+        remaining.add_edges_from(leftover)
+    if not pieces:  # edgeless input
+        pieces.append(graph.copy())
+    return pieces

@@ -1,0 +1,43 @@
+"""ASCII rendering of mapped layers (for Fig. 11 / Fig. 14 style views).
+
+Legend (matches the paper's figure conventions):
+``o`` complete fusion-graph node (blue dot), ``?`` incomplete node whose
+edges are not all mapped (green dot), ``*`` auxiliary routing resource
+state (pink dot), ``.`` unused RSG location.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.compiler import CompiledProgram
+from repro.core.mapping import LayerLayout
+
+COMPLETE = "o"
+INCOMPLETE = "?"
+AUX = "*"
+EMPTY = "."
+
+
+def render_layer(layout: LayerLayout) -> str:
+    """Render one mapped layer as a grid of characters."""
+    rows, cols = layout.shape
+    grid: List[List[str]] = [[EMPTY] * cols for _ in range(rows)]
+    for (r, c) in layout.aux_cells:
+        grid[r][c] = AUX
+    for (r, c), node in layout.node_at.items():
+        grid[r][c] = INCOMPLETE if node in layout.incomplete else COMPLETE
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_program(program: CompiledProgram, max_layers: int = 4) -> str:
+    """Render the first layers of a compiled program with a header."""
+    parts = [program.summary()]
+    for layout in program.layouts[:max_layers]:
+        parts.append(f"--- layer {layout.index} "
+                     f"(occupied {layout.occupied}/{layout.shape[0] * layout.shape[1]}) ---")
+        parts.append(render_layer(layout))
+    hidden = len(program.layouts) - max_layers
+    if hidden > 0:
+        parts.append(f"... {hidden} more layers ...")
+    return "\n".join(parts)

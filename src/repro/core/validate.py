@@ -1,0 +1,107 @@
+"""Post-compilation validation against the hardware model.
+
+The mapper tracks its own occupancy while placing; this module re-checks
+the finished layouts against first principles — the formal coupling
+graph of Sec. 3.1 and the photon budget of the resource states — so a
+mapper bug cannot silently emit an unimplementable program.
+
+Checks:
+
+* every cell hosts at most one resource state (node or auxiliary);
+* every recorded fusion path steps along lattice-adjacent cells;
+* no resource state participates in more fusions than it has photons;
+* auxiliary cells carry exactly one path (small-resource-state planarity
+  constraint, Sec. 3.2 'Additional Challenge').
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.compiler import CompiledProgram
+from repro.core.mapping import LayerLayout
+from repro.hardware.coupling import HardwareConfig
+
+Coord = Tuple[int, int]
+
+
+class ValidationError(AssertionError):
+    """A compiled program violates a hardware constraint."""
+
+
+def _check_layer(
+    layout: LayerLayout, hardware: HardwareConfig, errors: List[str]
+) -> None:
+    rows, cols = layout.shape
+    size = hardware.resource_state.size
+
+    overlap = set(layout.node_at) & layout.aux_cells
+    if overlap:
+        errors.append(
+            f"layer {layout.index}: cells host both node and aux: "
+            f"{sorted(overlap)[:3]}"
+        )
+
+    for coord in list(layout.node_at) + list(layout.aux_cells):
+        r, c = coord
+        if not (0 <= r < rows and 0 <= c < cols):
+            errors.append(f"layer {layout.index}: {coord} outside {layout.shape}")
+
+    fusion_load: Dict[Coord, int] = {}
+    path_load: Dict[Coord, int] = {}
+    for path in layout.paths:
+        if len(path) < 2:
+            errors.append(f"layer {layout.index}: degenerate path {path}")
+            continue
+        for a, b in zip(path, path[1:]):
+            if abs(a[0] - b[0]) + abs(a[1] - b[1]) != 1:
+                errors.append(
+                    f"layer {layout.index}: non-adjacent step {a}->{b}"
+                )
+        for end in (path[0], path[-1]):
+            fusion_load[end] = fusion_load.get(end, 0) + 1
+        for cell in path[1:-1]:
+            fusion_load[cell] = fusion_load.get(cell, 0) + 2
+            path_load[cell] = path_load.get(cell, 0) + 1
+            if cell not in layout.aux_cells:
+                errors.append(
+                    f"layer {layout.index}: path interior {cell} is not aux"
+                )
+
+    for coord, load in fusion_load.items():
+        if load > size:
+            errors.append(
+                f"layer {layout.index}: cell {coord} burns {load} photons "
+                f"but the resource state has {size}"
+            )
+    for coord, paths in path_load.items():
+        if paths > 1:
+            errors.append(
+                f"layer {layout.index}: aux cell {coord} carries {paths} "
+                "routing paths (max 1 for small resource states)"
+            )
+
+
+def validate_program(
+    program: CompiledProgram, hardware: HardwareConfig
+) -> Tuple[bool, List[str]]:
+    """Check *program*'s layouts; returns ``(ok, error_list)``."""
+    errors: List[str] = []
+    expected_shape = hardware.extended_shape
+    for layout in program.layouts:
+        if layout.shape != expected_shape:
+            errors.append(
+                f"layer {layout.index}: shape {layout.shape} != hardware "
+                f"{expected_shape}"
+            )
+        _check_layer(layout, hardware, errors)
+    return (not errors), errors
+
+
+def assert_valid(program: CompiledProgram, hardware: HardwareConfig) -> None:
+    """Raise :class:`ValidationError` when the program is invalid."""
+    ok, errors = validate_program(program, hardware)
+    if not ok:
+        raise ValidationError(
+            f"{len(errors)} hardware violations; first: {errors[0]}"
+        )

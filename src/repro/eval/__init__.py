@@ -1,0 +1,45 @@
+"""Evaluation harness: one runner + renderer per paper table/figure."""
+
+from repro.eval.experiments import (
+    FIG13_SHAPES,
+    PAPER_TABLE2,
+    TABLE_BENCHMARKS,
+    ComparisonRow,
+    compare_one,
+    run_ablation,
+    run_fidelity,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_table1,
+    run_table2,
+)
+from repro.eval.reporting import (
+    render_fig12,
+    render_fig13,
+    render_fig15,
+    render_table1,
+    render_table2,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "FIG13_SHAPES",
+    "PAPER_TABLE2",
+    "TABLE_BENCHMARKS",
+    "compare_one",
+    "render_fig12",
+    "render_fig13",
+    "render_fig15",
+    "render_table1",
+    "render_table2",
+    "run_ablation",
+    "run_fidelity",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,140 @@
+"""Text renderers for the experiment runners (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baseline.metrics import BaselineAreas
+from repro.core.compiler import CompiledProgram
+from repro.eval.experiments import PAPER_TABLE2, ComparisonRow
+
+
+def _table(headers: Sequence[str], rows: List[Sequence[object]]) -> str:
+    cells = [list(map(str, headers))] + [list(map(str, r)) for r in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_table1(rows: List[Tuple[str, BaselineAreas]]) -> str:
+    """Table 1: benchmark sizes and baseline areas."""
+    body = [
+        (
+            f"{name}-{areas.num_qubits}",
+            areas.num_qubits,
+            f"{areas.cluster_side}x{areas.cluster_side}",
+            f"{areas.physical_side}x{areas.physical_side}",
+        )
+        for name, areas in rows
+    ]
+    return _table(["Name", "#qubit", "cluster area", "physical area"], body)
+
+
+def render_table2(rows: List[ComparisonRow], with_paper: bool = True) -> str:
+    """Table 2: baseline vs OneQ depth and #fusions + improvements."""
+    headers = [
+        "Name-#q",
+        "Base Depth",
+        "Our Depth",
+        "Improv.",
+        "Base #Fus",
+        "Our #Fus",
+        "Improv.",
+    ]
+    if with_paper:
+        headers += ["Paper D-Improv.", "Paper F-Improv."]
+    body = []
+    for row in rows:
+        cells = [
+            row.label,
+            row.baseline.depth,
+            row.oneq.physical_depth,
+            f"{row.depth_improvement:.0f}x",
+            f"{row.baseline.num_fusions:,}",
+            f"{row.oneq.num_fusions:,}",
+            f"{row.fusion_improvement:.0f}x",
+        ]
+        if with_paper:
+            paper = PAPER_TABLE2.get((row.name, row.num_qubits))
+            if paper:
+                bd, od, bf, of = paper
+                cells += [f"{bd / od:.0f}x", f"{bf / of:.0f}x"]
+            else:
+                cells += ["-", "-"]
+        body.append(cells)
+    return _table(headers, body)
+
+
+def render_fig12(results: Dict[str, List[ComparisonRow]]) -> str:
+    """Fig. 12: improvement factors per resource-state type."""
+    rst_names = list(results.keys())
+    benches = [row.label for row in next(iter(results.values()))]
+    depth_rows = []
+    fusion_rows = []
+    for i, bench in enumerate(benches):
+        depth_rows.append(
+            [bench]
+            + [f"{results[r][i].depth_improvement:.0f}x" for r in rst_names]
+        )
+        fusion_rows.append(
+            [bench]
+            + [f"{results[r][i].fusion_improvement:.0f}x" for r in rst_names]
+        )
+    return (
+        "depth improvement\n"
+        + _table(["bench"] + rst_names, depth_rows)
+        + "\n\n#fusion improvement\n"
+        + _table(["bench"] + rst_names, fusion_rows)
+    )
+
+
+def _normalized(
+    per_key: Dict[float, CompiledProgram], base_key
+) -> Dict[float, Tuple[float, float]]:
+    base = per_key[base_key]
+    return {
+        key: (
+            prog.physical_depth / max(1, base.physical_depth),
+            prog.num_fusions / max(1, base.num_fusions),
+        )
+        for key, prog in per_key.items()
+    }
+
+
+def render_fig13(results: Dict[str, Dict[float, CompiledProgram]]) -> str:
+    """Fig. 13: normalized depth/#fusions per layer aspect ratio."""
+    ratios = sorted(next(iter(results.values())).keys())
+    rows = []
+    for bench, per_ratio in results.items():
+        norm = _normalized(per_ratio, base_key=ratios[0])
+        rows.append(
+            [bench]
+            + [f"{norm[r][0]:.2f}/{norm[r][1]:.2f}" for r in ratios]
+        )
+    return _table(
+        ["bench (depth/fus)"] + [f"ratio {r}" for r in ratios], rows
+    )
+
+
+def render_fig15(
+    results: Dict[str, Dict[int, CompiledProgram]], base_area: int = 256
+) -> str:
+    """Fig. 15: normalized depth/#fusions per physical area."""
+    areas = sorted(next(iter(results.values())).keys())
+    base = base_area if base_area in areas else areas[0]
+    rows = []
+    for bench, per_area in results.items():
+        norm = _normalized(per_area, base_key=base)
+        rows.append(
+            [bench]
+            + [f"{norm[a][0]:.2f}/{norm[a][1]:.2f}" for a in areas]
+        )
+    return _table(
+        ["bench (depth/fus)"] + [f"area {a}" for a in areas], rows
+    )

@@ -1,0 +1,47 @@
+"""Hardware model: resource states, coupling graph and fusion accounting."""
+
+from repro.hardware.coupling import (
+    HardwareConfig,
+    SpaceTimeCouplingGraph,
+    extended_to_physical,
+)
+from repro.hardware.fusion import FusionTally
+from repro.hardware.noise import (
+    DEFAULT_NOISE,
+    NoiseModel,
+    baseline_log_fidelity,
+    expected_fusion_attempts,
+    fidelity_improvement_factor,
+    log_fidelity,
+    program_log_fidelity,
+)
+from repro.hardware.resource_state import (
+    FOUR_LINE,
+    FOUR_RING,
+    FOUR_STAR,
+    RESOURCE_STATES,
+    THREE_LINE,
+    ResourceStateType,
+    get_resource_state,
+)
+
+__all__ = [
+    "DEFAULT_NOISE",
+    "FOUR_LINE",
+    "FOUR_RING",
+    "FOUR_STAR",
+    "FusionTally",
+    "NoiseModel",
+    "HardwareConfig",
+    "RESOURCE_STATES",
+    "ResourceStateType",
+    "SpaceTimeCouplingGraph",
+    "THREE_LINE",
+    "baseline_log_fidelity",
+    "expected_fusion_attempts",
+    "extended_to_physical",
+    "fidelity_improvement_factor",
+    "log_fidelity",
+    "program_log_fidelity",
+    "get_resource_state",
+]

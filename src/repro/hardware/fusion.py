@@ -1,0 +1,69 @@
+"""Fusion accounting: the cost model shared by both compilers.
+
+Fusions are the lowest-fidelity, most expensive operation on the machine
+(each destroys two photons), so the compiler tracks them by purpose:
+
+* ``synthesis`` — chain fusions building high-degree nodes (Fig. 8);
+* ``edge`` — fusions realizing graph-state edges directly (Fig. 7c);
+* ``routing`` — fusions along in-layer routing paths (Sec. 6);
+* ``shuffling`` — fusions on inter-layer shuffle paths (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class FusionTally:
+    """Mutable counter of fusions by category plus photon bookkeeping."""
+
+    synthesis: int = 0
+    edge: int = 0
+    routing: int = 0
+    shuffling: int = 0
+    z_measurements: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.synthesis + self.edge + self.routing + self.shuffling
+
+    @property
+    def photons_consumed_by_fusion(self) -> int:
+        """Every fusion destroys exactly two photons."""
+        return 2 * self.total
+
+    def add(self, kind: str, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("fusion count cannot be negative")
+        if kind == "synthesis":
+            self.synthesis += count
+        elif kind == "edge":
+            self.edge += count
+        elif kind == "routing":
+            self.routing += count
+        elif kind == "shuffling":
+            self.shuffling += count
+        else:
+            raise ValueError(f"unknown fusion kind {kind!r}")
+
+    def merge(self, other: "FusionTally") -> None:
+        self.synthesis += other.synthesis
+        self.edge += other.edge
+        self.routing += other.routing
+        self.shuffling += other.shuffling
+        self.z_measurements += other.z_measurements
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + value
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "synthesis": self.synthesis,
+            "edge": self.edge,
+            "routing": self.routing,
+            "shuffling": self.shuffling,
+            "total": self.total,
+            "z_measurements": self.z_measurements,
+        }

@@ -1,0 +1,132 @@
+"""Photonic noise model and program fidelity estimation.
+
+The paper motivates both compiler metrics with hardware physics: fusions
+are the lowest-fidelity operation on the machine, and photons waiting in
+delay lines suffer loss (Sec. 2.1, 3.1).  This module turns a compiled
+program's resource counts into an estimated success probability /
+fidelity so the two metrics can be compared on one axis.
+
+The model is intentionally simple and multiplicative (independent error
+events), which is the standard first-order treatment:
+
+* each fusion succeeds with probability ``fusion_success`` (linear-optics
+  Bell measurements are intrinsically probabilistic: 0.5 bare, 0.75 with
+  ancilla boosting [Ewert & van Loock 2014]) and, when successful,
+  introduces an error with probability ``fusion_error``;
+* each photon surviving a clock cycle in a delay line keeps its state
+  with probability ``1 - cycle_loss``;
+* each single-qubit measurement errs with probability
+  ``measurement_error``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """First-order photonic error model."""
+
+    fusion_success: float = 0.75
+    fusion_error: float = 0.01
+    cycle_loss: float = 0.001
+    measurement_error: float = 0.001
+
+    def __post_init__(self) -> None:
+        for name in ("fusion_success", "fusion_error", "cycle_loss", "measurement_error"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.fusion_success == 0.0:
+            raise ValueError("fusion_success must be positive")
+
+
+#: A forgiving default for comparisons (boosted fusion, good optics).
+DEFAULT_NOISE = NoiseModel()
+
+
+def log_fidelity(
+    num_fusions: int,
+    num_measurements: int,
+    photon_cycles: int,
+    model: NoiseModel = DEFAULT_NOISE,
+) -> float:
+    """Natural-log fidelity of one (post-selected) program execution.
+
+    Multiplies per-fusion error survival, per-measurement survival and
+    per-cycle photon survival.  Returned in log space because realistic
+    programs have thousands of events.
+    """
+    if min(num_fusions, num_measurements, photon_cycles) < 0:
+        raise ValueError("event counts cannot be negative")
+    out = 0.0
+    if model.fusion_error > 0:
+        out += num_fusions * math.log1p(-model.fusion_error)
+    if model.measurement_error > 0:
+        out += num_measurements * math.log1p(-model.measurement_error)
+    if model.cycle_loss > 0:
+        out += photon_cycles * math.log1p(-model.cycle_loss)
+    return out
+
+
+def expected_fusion_attempts(
+    num_fusions: int, model: NoiseModel = DEFAULT_NOISE
+) -> float:
+    """Expected fusion attempts given probabilistic success.
+
+    Linear-optics fusions herald failure; with repeat-until-success
+    (and enough resource-state supply) the expected attempt count is
+    ``num_fusions / fusion_success``.
+    """
+    if num_fusions < 0:
+        raise ValueError("num_fusions cannot be negative")
+    return num_fusions / model.fusion_success
+
+
+def program_log_fidelity(program, model: NoiseModel = DEFAULT_NOISE) -> float:
+    """Estimated log-fidelity of a compiled OneQ program.
+
+    Uses the program's fusion tally, its pattern size (one computational
+    measurement per graph node) and a pessimistic photon-cycle estimate:
+    every resource state's photons wait on average one physical layer.
+    """
+    photons = program.resource_states_used * 3  # lower bound: >= 3 each
+    return log_fidelity(
+        num_fusions=program.num_fusions,
+        num_measurements=program.pattern_nodes,
+        photon_cycles=photons,
+        model=model,
+    )
+
+
+def baseline_log_fidelity(result, model: NoiseModel = DEFAULT_NOISE) -> float:
+    """Estimated log-fidelity of a baseline cluster-state execution.
+
+    The baseline consumes ``depth * physical_area`` resource states and
+    measures every qubit of every cluster layer (cluster_area per layer,
+    most of them redundant Z measurements).
+    """
+    measurements = result.depth * result.cluster_area
+    photons = result.num_fusions * 2 + measurements
+    return log_fidelity(
+        num_fusions=result.num_fusions,
+        num_measurements=measurements,
+        photon_cycles=photons,
+        model=model,
+    )
+
+
+def fidelity_improvement_factor(program, result, model: NoiseModel = DEFAULT_NOISE) -> float:
+    """Ratio of log-infidelities baseline/OneQ (>1 means OneQ wins).
+
+    For small error rates ``-log F`` is approximately the expected number
+    of errors, so this ratio reads as "the baseline accumulates k times
+    more errors".
+    """
+    ours = -program_log_fidelity(program, model)
+    base = -baseline_log_fidelity(result, model)
+    if ours <= 0:
+        return float("inf")
+    return base / ours

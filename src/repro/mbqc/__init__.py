@@ -1,0 +1,45 @@
+"""MBQC substrate: graph states, patterns, translation and flow analysis."""
+
+from repro.mbqc.flow import (
+    adaptive_depth,
+    blocking_sources,
+    dependency_layers,
+    layer_assignment,
+    verify_layering,
+)
+from repro.mbqc.graph_state import (
+    disjoint_union,
+    fuse,
+    graph_state_vector,
+    grid_graph,
+    linear_graph,
+    max_degree,
+    neighborhood,
+    relabeled,
+    ring_graph,
+    star_graph,
+    z_measure,
+)
+from repro.mbqc.pattern import MeasurementPattern
+from repro.mbqc.translate import circuit_to_pattern
+
+__all__ = [
+    "MeasurementPattern",
+    "adaptive_depth",
+    "blocking_sources",
+    "circuit_to_pattern",
+    "dependency_layers",
+    "disjoint_union",
+    "fuse",
+    "graph_state_vector",
+    "grid_graph",
+    "layer_assignment",
+    "linear_graph",
+    "max_degree",
+    "neighborhood",
+    "relabeled",
+    "ring_graph",
+    "star_graph",
+    "verify_layering",
+    "z_measure",
+]

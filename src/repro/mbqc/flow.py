@@ -1,0 +1,143 @@
+"""Executability analysis: Lemma 1 and dependency layers (paper Sec. 4).
+
+A measurement is *executable* once all of its X-dependency sources are
+measured and all Z-dependency sources of those X-dependency sources are
+measured (Lemma 1).  Z-dependencies of the node itself never block
+execution: flipping an angle by ``pi`` merely relabels the two outcomes.
+Pauli-basis measurements are never adaptive, so all Clifford measurements
+land in the first dependency layer — the paper's observation that Clifford
+gates execute simultaneously.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.mbqc.pattern import MeasurementPattern
+
+
+def blocking_sources(pattern: MeasurementPattern, node: int) -> FrozenSet[int]:
+    """Nodes that must be measured before *node* is executable (Lemma 1)."""
+    sources = set()
+    for xsrc in pattern.effective_x_deps(node):
+        sources.add(xsrc)
+        sources.update(pattern.z_deps.get(xsrc, frozenset()))
+    sources.discard(node)
+    return frozenset(sources)
+
+
+def dependency_layers(pattern: MeasurementPattern) -> List[List[int]]:
+    """Partition all graph nodes into executability layers.
+
+    Layer ``k`` contains nodes whose blocking sources are all in layers
+    ``< k``.  Output nodes are treated as non-adaptive (their readout is a
+    fixed-basis measurement), so they are placed according to graph
+    proximity of their producers: an output's layer is the layer of its
+    latest blocking source, or 0 when it has none.
+    """
+    layer_of: Dict[int, int] = {}
+    blocking = {v: blocking_sources(pattern, v) for v in pattern.graph.nodes()}
+    remaining = set(pattern.graph.nodes())
+    layers: List[List[int]] = []
+    while remaining:
+        current = [
+            v
+            for v in remaining
+            if all(src in layer_of for src in blocking[v])
+        ]
+        if not current:
+            raise RuntimeError(
+                "dependency cycle detected; pattern dependencies are corrupt"
+            )
+        for v in current:
+            layer_of[v] = len(layers)
+        layers.append(sorted(current))
+        remaining -= set(current)
+    return layers
+
+
+def layer_assignment(pattern: MeasurementPattern) -> Dict[int, int]:
+    """Map node -> dependency layer index."""
+    assignment: Dict[int, int] = {}
+    for idx, layer in enumerate(dependency_layers(pattern)):
+        for node in layer:
+            assignment[node] = idx
+    return assignment
+
+
+def adaptive_depth(pattern: MeasurementPattern) -> int:
+    """Number of dependency layers (the feed-forward critical path)."""
+    return len(dependency_layers(pattern))
+
+
+def scheduling_ranks(pattern: MeasurementPattern) -> Dict[int, int]:
+    """Geometry-preserving executability rank per node (Sec. 4).
+
+    Longest-path rank in the *raw* dependency DAG (X- and Z-dependencies
+    without the Pauli filter, plus output byproduct sources).  Because
+    the translator threads an X-dependency along every wire, consecutive
+    wire nodes get consecutive ranks — this is the paper's "concurrently
+    consider dependencies and overall geometry": grouping consecutive
+    ranks keeps wire chains together while never scheduling a node before
+    its blocking sources (every dependency source has a strictly smaller
+    rank, which is stronger than Lemma 1).
+    """
+    rank: Dict[int, int] = {}
+
+    def deps_of(node: int) -> FrozenSet[int]:
+        merged = set(pattern.x_deps.get(node, frozenset()))
+        merged |= pattern.z_deps.get(node, frozenset())
+        merged |= pattern.output_x.get(node, frozenset())
+        merged |= pattern.output_z.get(node, frozenset())
+        merged.discard(node)
+        return frozenset(merged)
+
+    remaining = set(pattern.graph.nodes())
+    while remaining:
+        progressed = []
+        for node in remaining:
+            sources = deps_of(node)
+            if all(src in rank for src in sources):
+                rank[node] = 1 + max(
+                    (rank[src] for src in sources), default=-1
+                )
+                progressed.append(node)
+        if not progressed:
+            raise RuntimeError("cycle in raw dependency DAG")
+        remaining -= set(progressed)
+    return rank
+
+
+def rank_layers(pattern: MeasurementPattern) -> List[List[int]]:
+    """Nodes grouped by scheduling rank, in ascending rank order."""
+    ranks = scheduling_ranks(pattern)
+    depth = max(ranks.values(), default=0)
+    layers: List[List[int]] = [[] for _ in range(depth + 1)]
+    for node, r in ranks.items():
+        layers[r].append(node)
+    return [sorted(layer) for layer in layers if layer]
+
+
+def verify_layering(
+    pattern: MeasurementPattern, layers: List[List[int]]
+) -> Tuple[bool, str]:
+    """Check that *layers* is a valid Lemma-1 layering of *pattern*.
+
+    Returns ``(ok, message)`` so tests can assert with context.
+    """
+    layer_of: Dict[int, int] = {}
+    for idx, layer in enumerate(layers):
+        for node in layer:
+            if node in layer_of:
+                return False, f"node {node} appears twice"
+            layer_of[node] = idx
+    if set(layer_of) != set(pattern.graph.nodes()):
+        return False, "layers do not cover all nodes"
+    for node in pattern.graph.nodes():
+        for src in blocking_sources(pattern, node):
+            if layer_of[src] >= layer_of[node]:
+                return False, (
+                    f"node {node} in layer {layer_of[node]} blocked by "
+                    f"{src} in layer {layer_of[src]}"
+                )
+    return True, "ok"

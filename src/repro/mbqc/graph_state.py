@@ -1,0 +1,154 @@
+"""Graph states and the photonic fusion rule.
+
+A *graph state* on a graph ``G = (V, E)`` is the stabilizer state obtained
+by preparing every vertex qubit in ``|+>`` and applying a CZ along every
+edge.  This module stores graph states purely combinatorially (as a
+:class:`networkx.Graph`); dense vectors for verification are produced by
+:func:`graph_state_vector`.
+
+The *fusion* operation (paper Fig. 2) is the native photonic entangling
+primitive: a destructive joint measurement in the XZ- and ZX-bases of two
+qubits ``c`` and ``d`` from (possibly different) graph states.  Both
+photons vanish and, for the even-outcome branch, the surviving qubits form
+the graph state whose edge set is toggled by the complete bipartite graph
+``N(c) x N(d)`` (verified against dense simulation in the tests).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Hashable, Iterable, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+
+def linear_graph(num_nodes: int) -> nx.Graph:
+    """Path graph 0-1-...-(n-1): the n-qubit linear cluster state."""
+    return nx.path_graph(num_nodes)
+
+
+def star_graph(num_leaves: int) -> nx.Graph:
+    """Star with centre 0 and *num_leaves* leaves (a GHZ-class state)."""
+    return nx.star_graph(num_leaves)
+
+
+def ring_graph(num_nodes: int) -> nx.Graph:
+    """Cycle graph: the n-qubit ring cluster state."""
+    return nx.cycle_graph(num_nodes)
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """2D lattice cluster-state graph with (row, col) node labels."""
+    return nx.grid_2d_graph(rows, cols)
+
+
+def fuse(
+    graph: nx.Graph, c: Hashable, d: Hashable, allow_neighbors: bool = False
+) -> nx.Graph:
+    """Fuse qubits *c* and *d* of (a disjoint union) graph state.
+
+    Returns a new graph where ``c`` and ``d`` have vanished and every pair
+    ``(u, w)`` with ``u in N(c)``, ``w in N(d)`` has had its edge toggled
+    (CZ is an involution, so fusing onto an existing edge erases it).
+
+    Raises ``ValueError`` if ``c`` and ``d`` are adjacent — fusing
+    neighbouring qubits is not used by the paper's patterns and has
+    different semantics — unless ``allow_neighbors`` is set.
+    """
+    if c == d:
+        raise ValueError("cannot fuse a qubit with itself")
+    if c not in graph or d not in graph:
+        raise ValueError("fusion endpoints must be in the graph")
+    if not allow_neighbors and graph.has_edge(c, d):
+        raise ValueError(f"fusion endpoints {c!r}, {d!r} are adjacent")
+    nc = set(graph.neighbors(c)) - {d}
+    nd = set(graph.neighbors(d)) - {c}
+    out = graph.copy()
+    out.remove_node(c)
+    out.remove_node(d)
+    for u, w in product(nc, nd):
+        if u == w:
+            continue
+        if out.has_edge(u, w):
+            out.remove_edge(u, w)
+        else:
+            out.add_edge(u, w)
+    return out
+
+
+def z_measure(graph: nx.Graph, node: Hashable) -> nx.Graph:
+    """Remove *node* by a Z measurement (even-outcome branch).
+
+    A Z measurement simply deletes the qubit and its edges — this is how
+    redundant resource-state qubits are discarded (paper Sec. 2.2.2/5).
+    """
+    if node not in graph:
+        raise ValueError(f"node {node!r} not in graph")
+    out = graph.copy()
+    out.remove_node(node)
+    return out
+
+
+def graph_state_vector(
+    graph: nx.Graph,
+    order: Optional[Tuple[Hashable, ...]] = None,
+    input_states: Optional[dict] = None,
+) -> np.ndarray:
+    """Dense statevector of the graph state of *graph* (testing helper).
+
+    ``order`` fixes the qubit ordering (little-endian: ``order[0]`` is the
+    least significant bit).  ``input_states`` optionally maps a node to a
+    length-2 amplitude pair used instead of ``|+>``.
+    """
+    nodes = tuple(order) if order is not None else tuple(sorted(graph.nodes()))
+    if set(nodes) != set(graph.nodes()):
+        raise ValueError("order must enumerate exactly the graph nodes")
+    index_of = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    plus = np.array([1.0, 1.0], dtype=complex) / np.sqrt(2.0)
+    state = np.ones(1, dtype=complex)
+    for node in nodes:  # little-endian: later qubits are more significant
+        amp = plus
+        if input_states and node in input_states:
+            amp = np.asarray(input_states[node], dtype=complex)
+            amp = amp / np.linalg.norm(amp)
+        state = np.kron(amp, state)
+    for u, v in graph.edges():
+        iu, iv = index_of[u], index_of[v]
+        idx = np.arange(2**n)
+        mask = ((idx >> iu) & 1) & ((idx >> iv) & 1)
+        state = state * np.where(mask, -1.0, 1.0)
+    return state
+
+
+def disjoint_union(a: nx.Graph, b: nx.Graph) -> nx.Graph:
+    """Union of two graphs that must not share node labels."""
+    overlap = set(a.nodes()) & set(b.nodes())
+    if overlap:
+        raise ValueError(f"graphs share nodes: {sorted(overlap)!r}")
+    out = nx.Graph()
+    out.add_nodes_from(a.nodes())
+    out.add_nodes_from(b.nodes())
+    out.add_edges_from(a.edges())
+    out.add_edges_from(b.edges())
+    return out
+
+
+def relabeled(graph: nx.Graph, offset: int) -> nx.Graph:
+    """Shift integer node labels by *offset* (testing convenience)."""
+    return nx.relabel_nodes(graph, {v: v + offset for v in graph.nodes()})
+
+
+def max_degree(graph: nx.Graph) -> int:
+    """Largest vertex degree (0 for an empty graph)."""
+    return max((d for _, d in graph.degree()), default=0)
+
+
+def neighborhood(graph: nx.Graph, nodes: Iterable[Hashable]) -> set:
+    """Union of neighbours of *nodes*, excluding the nodes themselves."""
+    nodes = set(nodes)
+    out: set = set()
+    for node in nodes:
+        out.update(graph.neighbors(node))
+    return out - nodes

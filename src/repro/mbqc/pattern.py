@@ -1,0 +1,147 @@
+"""Measurement patterns: the MBQC program representation.
+
+A :class:`MeasurementPattern` is the paper's "graph state + measurement
+basis per qubit + dependency structure" object (Sec. 2.2.1).  Nodes are
+integers.  Every non-output node carries a nominal equatorial angle; the
+*actual* angle applied at runtime is
+
+    ``(-1)**s * alpha + t * pi``
+
+where ``s`` / ``t`` are XORs of the measurement outcomes of the node's X-
+and Z-dependency sources (the classical feed-forward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+import networkx as nx
+
+from repro.utils.angles import is_pauli_angle
+
+
+@dataclass
+class MeasurementPattern:
+    """An MBQC program over a graph state.
+
+    Attributes:
+        graph: the entanglement graph (includes output nodes).
+        inputs: input nodes in wire order (hold the input state).
+        outputs: output nodes in wire order (never measured in-pattern).
+        angles: nominal measurement angle per non-output node.
+        x_deps: node -> outcome sources whose XOR flips the angle sign.
+        z_deps: node -> outcome sources whose XOR adds pi to the angle.
+        output_x: residual Pauli-X byproduct sources per output node.
+        output_z: residual Pauli-Z byproduct sources per output node.
+        wire_of: node -> logical circuit wire (diagnostic / layout aid).
+        sequence: chronological measurement order from translation; when
+            empty, a topological order of the dependency DAG is used.
+    """
+
+    graph: nx.Graph
+    inputs: Tuple[int, ...]
+    outputs: Tuple[int, ...]
+    angles: Dict[int, float]
+    x_deps: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+    z_deps: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+    output_x: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+    output_z: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+    wire_of: Dict[int, int] = field(default_factory=dict)
+    sequence: Tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        nodes = set(self.graph.nodes())
+        outputs = set(self.outputs)
+        if not set(self.inputs) <= nodes:
+            raise ValueError("inputs must be graph nodes")
+        if not outputs <= nodes:
+            raise ValueError("outputs must be graph nodes")
+        measured = nodes - outputs
+        if set(self.angles.keys()) != measured:
+            missing = measured - set(self.angles.keys())
+            extra = set(self.angles.keys()) - measured
+            raise ValueError(
+                f"angles must cover exactly the measured nodes "
+                f"(missing {sorted(missing)}, extra {sorted(extra)})"
+            )
+        for dep_map in (self.x_deps, self.z_deps):
+            for node, sources in dep_map.items():
+                if node not in nodes:
+                    raise ValueError(f"dependency on unknown node {node}")
+                if not sources <= measured:
+                    raise ValueError(
+                        f"dependency sources of {node} must be measured nodes"
+                    )
+        if self.sequence and set(self.sequence) != measured:
+            raise ValueError("sequence must enumerate the measured nodes")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def measured_nodes(self) -> Tuple[int, ...]:
+        outputs = set(self.outputs)
+        return tuple(v for v in self.graph.nodes() if v not in outputs)
+
+    def is_adaptive(self, node: int) -> bool:
+        """True when *node*'s measurement must wait for other outcomes.
+
+        Pauli-basis measurements (X/Y, i.e. angles that are multiples of
+        ``pi/2``) never need adaptivity: sign flips map the basis to
+        itself and only reinterpret the outcome bit (paper Sec. 4).
+        """
+        if node in set(self.outputs):
+            return False
+        if is_pauli_angle(self.angles[node]):
+            return False
+        return bool(self.x_deps.get(node)) or bool(self.z_deps.get(node))
+
+    def effective_x_deps(self, node: int) -> FrozenSet[int]:
+        """X-dependencies that actually gate execution (adaptive only)."""
+        if not self.is_adaptive(node):
+            return frozenset()
+        return self.x_deps.get(node, frozenset())
+
+    def dependency_dag(self) -> nx.DiGraph:
+        """Directed graph with an edge ``source -> node`` per dependency."""
+        dag = nx.DiGraph()
+        dag.add_nodes_from(self.graph.nodes())
+        for node, sources in self.x_deps.items():
+            for src in sources:
+                dag.add_edge(src, node, kind="x")
+        for node, sources in self.z_deps.items():
+            for src in sources:
+                dag.add_edge(src, node, kind="z")
+        return dag
+
+    def measurement_order(self) -> Tuple[int, ...]:
+        """A total order of measured nodes respecting all dependencies.
+
+        Prefers the chronological ``sequence`` recorded by the translator
+        (it keeps the simulator's active-qubit window minimal); falls back
+        to a topological sort of the dependency DAG.
+        """
+        if self.sequence:
+            return self.sequence
+        dag = self.dependency_dag()
+        outputs = set(self.outputs)
+        order = [v for v in nx.topological_sort(dag) if v not in outputs]
+        return tuple(order)
+
+    def summary(self) -> str:
+        return (
+            f"MeasurementPattern(nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, inputs={len(self.inputs)}, "
+            f"outputs={len(self.outputs)}, "
+            f"adaptive={sum(1 for v in self.measured_nodes() if self.is_adaptive(v))})"
+        )

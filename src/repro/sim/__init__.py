@@ -1,0 +1,29 @@
+"""Simulation substrates: dense statevector, MBQC pattern, stabilizer."""
+
+from repro.sim.pattern_sim import PatternResult, PatternSimulator, simulate_pattern
+from repro.sim.statevector import (
+    Statevector,
+    basis_state_distribution,
+    circuit_unitary,
+    fidelity,
+    gate_matrix,
+    j_matrix,
+    simulate,
+    states_equal_up_to_phase,
+    unitaries_equal_up_to_phase,
+)
+
+__all__ = [
+    "PatternResult",
+    "PatternSimulator",
+    "Statevector",
+    "basis_state_distribution",
+    "circuit_unitary",
+    "fidelity",
+    "gate_matrix",
+    "j_matrix",
+    "simulate",
+    "simulate_pattern",
+    "states_equal_up_to_phase",
+    "unitaries_equal_up_to_phase",
+]

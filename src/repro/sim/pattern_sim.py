@@ -1,0 +1,235 @@
+"""Lazy statevector execution of measurement patterns.
+
+This simulator plays the role of the photonic machine: qubits come into
+existence when first needed, are entangled by CZ along graph edges,
+measured once in an adaptive equatorial basis, and destroyed.  Keeping
+only the *active* window of qubits (the frontier) makes the memory cost
+``O(2^(wires+1))`` rather than ``O(2^nodes)``.
+
+It is the end-to-end correctness oracle for the whole stack: the output
+state of a translated pattern must equal the circuit's output state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.mbqc.pattern import MeasurementPattern
+
+_SQRT2 = math.sqrt(2.0)
+
+
+@dataclass
+class PatternResult:
+    """Outcome record of one pattern execution.
+
+    Attributes:
+        state: statevector over the pattern's output nodes, little-endian
+            in output order, with all byproducts corrected.
+        outcomes: measured node -> outcome bit.
+    """
+
+    state: np.ndarray
+    outcomes: Dict[int, int]
+
+
+class PatternSimulator:
+    """Executes a :class:`MeasurementPattern` with adaptive angles."""
+
+    def __init__(
+        self,
+        pattern: MeasurementPattern,
+        seed: Optional[int] = None,
+        force_outcomes: Optional[Dict[int, int]] = None,
+        max_active: int = 22,
+    ):
+        self.pattern = pattern
+        self.rng = np.random.default_rng(seed)
+        self.force_outcomes = force_outcomes or {}
+        self.max_active = max_active
+        self._reset()
+
+    # ------------------------------------------------------------------
+    def _reset(self) -> None:
+        self._state = np.ones(1, dtype=complex)
+        self._pos: Dict[int, int] = {}
+        self._applied_edges = set()
+        self.outcomes: Dict[int, int] = {}
+
+    def run(
+        self, input_state: Optional[Dict[int, Sequence[complex]]] = None
+    ) -> PatternResult:
+        """Execute the pattern; inputs default to ``|0>`` per input node.
+
+        ``input_state`` maps an input node to a 2-amplitude vector.
+        """
+        self._reset()
+        pattern = self.pattern
+        inits: Dict[int, np.ndarray] = {}
+        for node in pattern.inputs:
+            amp = np.array([1.0, 0.0], dtype=complex)
+            if input_state and node in input_state:
+                amp = np.asarray(input_state[node], dtype=complex)
+                amp = amp / np.linalg.norm(amp)
+            inits[node] = amp
+
+        for node in pattern.measurement_order():
+            self._activate_with_neighbors(node, inits)
+            self._measure(node)
+
+        for node in pattern.outputs:
+            self._activate_with_neighbors(node, inits)
+
+        self._apply_output_byproducts()
+        state = self._extract_output_state()
+        return PatternResult(state=state, outcomes=dict(self.outcomes))
+
+    # ------------------------------------------------------------------
+    # qubit window management
+    # ------------------------------------------------------------------
+    def _add_qubit(self, node: int, amp: np.ndarray) -> None:
+        if len(self._pos) >= self.max_active:
+            raise RuntimeError(
+                f"active window exceeded {self.max_active} qubits; "
+                "pattern order keeps too many qubits alive"
+            )
+        self._state = np.kron(amp, self._state)
+        self._pos[node] = len(self._pos)
+
+    def _activate_with_neighbors(self, node: int, inits: Dict[int, np.ndarray]) -> None:
+        """Ensure *node* and its graph neighbourhood are live and entangled."""
+        plus = np.array([1.0, 1.0], dtype=complex) / _SQRT2
+        if node not in self._pos:
+            if node in self.outcomes:
+                raise RuntimeError(f"node {node} measured twice")
+            self._add_qubit(node, inits.get(node, plus))
+        for nbr in self.pattern.graph.neighbors(node):
+            key = (min(node, nbr), max(node, nbr))
+            if key in self._applied_edges:
+                continue
+            if nbr in self.outcomes:
+                raise RuntimeError(
+                    f"edge {key} activates after endpoint {nbr} was destroyed"
+                )
+            if nbr not in self._pos:
+                self._add_qubit(nbr, inits.get(nbr, plus))
+            self._apply_cz(node, nbr)
+            self._applied_edges.add(key)
+
+    def _apply_cz(self, a: int, b: int) -> None:
+        ia, ib = self._pos[a], self._pos[b]
+        n = len(self._pos)
+        idx = np.arange(2**n)
+        mask = ((idx >> ia) & 1) & ((idx >> ib) & 1)
+        self._state = self._state * np.where(mask, -1.0, 1.0)
+
+    def _apply_pauli(self, node: int, which: str) -> None:
+        i = self._pos[node]
+        n = len(self._pos)
+        idx = np.arange(2**n)
+        bit = (idx >> i) & 1
+        if which == "z":
+            self._state = self._state * np.where(bit, -1.0, 1.0)
+        elif which == "x":
+            flipped = idx ^ (1 << i)
+            out = np.empty_like(self._state)
+            out[flipped] = self._state[idx]
+            self._state = out
+        else:  # pragma: no cover
+            raise ValueError(which)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def _actual_angle(self, node: int) -> float:
+        alpha = self.pattern.angles[node]
+        s = 0
+        for src in self.pattern.x_deps.get(node, frozenset()):
+            s ^= self.outcomes[src]
+        t = 0
+        for src in self.pattern.z_deps.get(node, frozenset()):
+            t ^= self.outcomes[src]
+        return ((-1.0) ** s) * alpha + t * math.pi
+
+    def _measure(self, node: int) -> None:
+        """Equatorial measurement ``E(theta)``, destroying the photon."""
+        theta = self._actual_angle(node)
+        i = self._pos[node]
+        n = len(self._pos)
+        tensor = self._state.reshape((2,) * n)
+        axis = n - 1 - i
+        zero = np.take(tensor, 0, axis=axis)
+        one = np.take(tensor, 1, axis=axis)
+        phase = np.exp(-1j * theta)
+        # <+_theta| = (<0| + e^{-i theta} <1|) / sqrt(2)
+        branch0 = (zero + phase * one) / _SQRT2
+        branch1 = (zero - phase * one) / _SQRT2
+        p0 = float(np.sum(np.abs(branch0) ** 2))
+        p1 = float(np.sum(np.abs(branch1) ** 2))
+        total = p0 + p1
+        if total < 1e-12:  # pragma: no cover - would mean a zero state
+            raise RuntimeError("state collapsed to zero norm")
+        if node in self.force_outcomes:
+            outcome = self.force_outcomes[node]
+            if (outcome == 0 and p0 / total < 1e-12) or (
+                outcome == 1 and p1 / total < 1e-12
+            ):
+                raise RuntimeError(
+                    f"forced outcome {outcome} on node {node} has zero probability"
+                )
+        else:
+            outcome = int(self.rng.random() >= p0 / total)
+        branch = branch0 if outcome == 0 else branch1
+        norm = math.sqrt(p0 if outcome == 0 else p1)
+        self._state = (branch / norm).reshape(-1)
+        self.outcomes[node] = outcome
+        # compact the position table
+        del self._pos[node]
+        for other, pos in list(self._pos.items()):
+            if pos > i:
+                self._pos[other] = pos - 1
+
+    # ------------------------------------------------------------------
+    # output handling
+    # ------------------------------------------------------------------
+    def _apply_output_byproducts(self) -> None:
+        for node in self.pattern.outputs:
+            t = 0
+            for src in self.pattern.output_z.get(node, frozenset()):
+                t ^= self.outcomes[src]
+            if t:
+                self._apply_pauli(node, "z")
+            s = 0
+            for src in self.pattern.output_x.get(node, frozenset()):
+                s ^= self.outcomes[src]
+            if s:
+                self._apply_pauli(node, "x")
+
+    def _extract_output_state(self) -> np.ndarray:
+        """Reorder the surviving qubits into output order (little-endian)."""
+        outputs = self.pattern.outputs
+        if set(self._pos) != set(outputs):
+            extra = set(self._pos) - set(outputs)
+            raise RuntimeError(f"non-output qubits still active: {sorted(extra)}")
+        n = len(outputs)
+        tensor = self._state.reshape((2,) * n)
+        # current axis of output k is n - 1 - pos[output_k]; we want output
+        # k at axis n - 1 - k.
+        perm = [0] * n
+        for k, node in enumerate(outputs):
+            perm[n - 1 - k] = n - 1 - self._pos[node]
+        tensor = np.transpose(tensor, axes=perm)
+        return tensor.reshape(-1)
+
+
+def simulate_pattern(
+    pattern: MeasurementPattern,
+    seed: Optional[int] = None,
+    input_state: Optional[Dict[int, Sequence[complex]]] = None,
+) -> PatternResult:
+    """One-shot convenience wrapper around :class:`PatternSimulator`."""
+    return PatternSimulator(pattern, seed=seed).run(input_state=input_state)

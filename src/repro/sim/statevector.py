@@ -1,0 +1,221 @@
+"""Dense statevector simulation of circuits.
+
+Used as the ground truth when validating gate-set lowering and the MBQC
+translation.  Qubit ordering is little-endian: basis index bit ``q`` is
+the value of qubit ``q``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import Gate
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _rz(theta: float) -> np.ndarray:
+    return np.array(
+        [[np.exp(-0.5j * theta), 0.0], [0.0, np.exp(0.5j * theta)]],
+        dtype=complex,
+    )
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def j_matrix(alpha: float) -> np.ndarray:
+    """The paper's ``J(alpha)`` gate: ``H @ Rz(alpha)`` up to phase."""
+    return np.array(
+        [[1.0, np.exp(1j * alpha)], [1.0, -np.exp(1j * alpha)]], dtype=complex
+    ) / _SQRT2
+
+
+_H = np.array([[1.0, 1.0], [1.0, -1.0]], dtype=complex) / _SQRT2
+_X = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
+_Y = np.array([[0.0, -1j], [1j, 0.0]], dtype=complex)
+_Z = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
+_I = np.eye(2, dtype=complex)
+
+_CZ = np.diag([1.0, 1.0, 1.0, -1.0]).astype(complex)
+# Little-endian CX with (control, target) = (first, second) qubit argument.
+_SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+
+def gate_matrix(gate: Gate) -> np.ndarray:
+    """Unitary matrix of *gate* on its own qubits (slot order = args)."""
+    name = gate.name
+    if name == "i":
+        return _I
+    if name == "x":
+        return _X
+    if name == "y":
+        return _Y
+    if name == "z":
+        return _Z
+    if name == "h":
+        return _H
+    if name == "s":
+        return np.diag([1.0, 1j]).astype(complex)
+    if name == "sdg":
+        return np.diag([1.0, -1j]).astype(complex)
+    if name == "t":
+        return np.diag([1.0, np.exp(1j * math.pi / 4)]).astype(complex)
+    if name == "tdg":
+        return np.diag([1.0, np.exp(-1j * math.pi / 4)]).astype(complex)
+    if name == "sx":
+        return 0.5 * np.array(
+            [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex
+        )
+    if name == "rx":
+        return _rx(gate.params[0])
+    if name == "ry":
+        return _ry(gate.params[0])
+    if name == "rz":
+        return _rz(gate.params[0])
+    if name == "p":
+        return np.diag([1.0, np.exp(1j * gate.params[0])]).astype(complex)
+    if name == "j":
+        return j_matrix(gate.params[0])
+    if name == "cz":
+        return _CZ
+    if name == "cx":
+        # Slot 0 = control, slot 1 = target; slot 0 is the most significant
+        # bit of the matrix index, so the control-on states are 2 and 3.
+        m = np.eye(4, dtype=complex)
+        m[[2, 3]] = m[[3, 2]]
+        return m
+    if name == "cp":
+        return np.diag(
+            [1.0, 1.0, 1.0, np.exp(1j * gate.params[0])]
+        ).astype(complex)
+    if name == "swap":
+        return _SWAP
+    if name == "ccx":
+        # Slots 0,1 = controls, slot 2 = target: swap |110> and |111>.
+        m = np.eye(8, dtype=complex)
+        m[[6, 7]] = m[[7, 6]]
+        return m
+    raise ValueError(f"no matrix for gate {gate}")  # pragma: no cover
+
+
+class Statevector:
+    """A mutable dense state over *num_qubits* little-endian qubits."""
+
+    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None):
+        self.num_qubits = num_qubits
+        if data is None:
+            self.data = np.zeros(2**num_qubits, dtype=complex)
+            self.data[0] = 1.0
+        else:
+            data = np.asarray(data, dtype=complex)
+            if data.shape != (2**num_qubits,):
+                raise ValueError("statevector has wrong dimension")
+            self.data = data.copy()
+
+    def copy(self) -> "Statevector":
+        return Statevector(self.num_qubits, self.data)
+
+    def apply_matrix(self, matrix: np.ndarray, qubits) -> None:
+        """Apply *matrix* to the listed qubits (slot order = list order)."""
+        k = len(qubits)
+        n = self.num_qubits
+        tensor = self.data.reshape((2,) * n)
+        # axis of qubit q in the reshaped tensor
+        axes = [n - 1 - q for q in qubits]
+        op = matrix.reshape((2,) * (2 * k))
+        tensor = np.tensordot(op, tensor, axes=(list(range(k, 2 * k)), axes))
+        # tensordot puts the new (output) axes first, in slot order.
+        tensor = np.moveaxis(tensor, list(range(k)), axes)
+        self.data = tensor.reshape(2**n)
+
+    def apply_gate(self, gate: Gate) -> None:
+        self.apply_matrix(gate_matrix(gate), list(gate.qubits))
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.data) ** 2
+
+    def measure_probability(self, qubit: int, outcome: int) -> float:
+        """Probability of observing *outcome* on a Z measurement."""
+        probs = self.probabilities()
+        mask = (np.arange(len(probs)) >> qubit) & 1
+        return float(probs[mask == outcome].sum())
+
+
+def simulate(circuit: Circuit, initial: Optional[np.ndarray] = None) -> np.ndarray:
+    """Run *circuit* on ``|0...0>`` (or *initial*) and return the state."""
+    state = Statevector(circuit.num_qubits, initial)
+    for gate in circuit:
+        state.apply_gate(gate)
+    return state.data
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """Full unitary of *circuit* (exponential in qubits — tests only)."""
+    dim = 2**circuit.num_qubits
+    unitary = np.eye(dim, dtype=complex)
+    for col in range(dim):
+        basis = np.zeros(dim, dtype=complex)
+        basis[col] = 1.0
+        unitary[:, col] = simulate(circuit, basis)
+    return unitary
+
+
+def states_equal_up_to_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-8
+) -> bool:
+    """True when two normalized states differ only by a global phase."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    overlap = np.vdot(a, b)
+    return bool(abs(abs(overlap) - 1.0) < atol)
+
+
+def unitaries_equal_up_to_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-8
+) -> bool:
+    """True when two unitaries differ only by a global phase."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    # find the first non-negligible entry of b to fix the phase
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(b[idx]) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = a[idx] / b[idx]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(a, phase * b, atol=atol))
+
+
+def fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """State fidelity ``|<a|b>|^2`` between two pure states."""
+    return float(abs(np.vdot(a, b)) ** 2)
+
+
+def basis_state_distribution(state: np.ndarray) -> Dict[int, float]:
+    """Map basis index -> probability, dropping negligible entries."""
+    probs = np.abs(np.asarray(state)) ** 2
+    return {i: float(p) for i, p in enumerate(probs) if p > 1e-12}

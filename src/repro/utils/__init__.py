@@ -1,0 +1,19 @@
+"""Shared utilities: angles, geometry and deterministic RNG helpers."""
+
+from repro.utils.angles import (
+    ANGLE_ATOL,
+    is_clifford_angle,
+    is_pauli_angle,
+    normalize_angle,
+)
+from repro.utils.geometry import Rect, bounding_rect, manhattan
+
+__all__ = [
+    "ANGLE_ATOL",
+    "Rect",
+    "bounding_rect",
+    "is_clifford_angle",
+    "is_pauli_angle",
+    "manhattan",
+    "normalize_angle",
+]

@@ -1,0 +1,57 @@
+"""Helpers for measurement angles.
+
+Angles in this codebase are always expressed in radians on the X-Y equator
+of the Bloch sphere (the paper's ``E(alpha)`` measurements).  Two families
+of angles get special treatment by the compiler:
+
+* *Pauli angles* (multiples of ``pi/2``): the measurement is in the X or Y
+  basis, so byproduct corrections can be absorbed classically and the
+  measurement never needs to be adaptive.
+* *Clifford angles*: same set in this single-qubit equatorial setting; the
+  name is kept separate because the paper talks about "Clifford gates"
+  executing simultaneously (Section 4).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Absolute tolerance used when classifying angles.
+ANGLE_ATOL = 1e-9
+
+_TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(alpha: float) -> float:
+    """Map *alpha* into the canonical interval ``[0, 2*pi)``.
+
+    >>> round(normalize_angle(-math.pi / 2), 6) == round(3 * math.pi / 2, 6)
+    True
+    """
+    alpha = math.fmod(alpha, _TWO_PI)
+    if alpha < 0.0:
+        alpha += _TWO_PI
+    if abs(alpha - _TWO_PI) < ANGLE_ATOL:
+        alpha = 0.0
+    return alpha
+
+
+def _is_multiple_of(alpha: float, unit: float) -> bool:
+    alpha = normalize_angle(alpha)
+    ratio = alpha / unit
+    return abs(ratio - round(ratio)) < 1e-7
+
+
+def is_pauli_angle(alpha: float) -> bool:
+    """Return True when ``E(alpha)`` is an X- or Y-basis measurement.
+
+    These are the angles ``0, pi/2, pi, 3*pi/2``; measurements at these
+    angles never need adaptive corrections because Pauli byproducts only
+    flip the (classical) outcome.
+    """
+    return _is_multiple_of(alpha, math.pi / 2.0)
+
+
+def is_clifford_angle(alpha: float) -> bool:
+    """Return True when a ``J(alpha)`` gate at this angle is Clifford."""
+    return _is_multiple_of(alpha, math.pi / 2.0)

@@ -1,0 +1,59 @@
+"""Small 2D grid geometry helpers used by the mapping stage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle given by inclusive corner coordinates."""
+
+    x_min: int
+    y_min: int
+    x_max: int
+    y_max: int
+
+    @property
+    def width(self) -> int:
+        return self.x_max - self.x_min + 1
+
+    @property
+    def height(self) -> int:
+        return self.y_max - self.y_min + 1
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    def contains(self, coord: Coord) -> bool:
+        x, y = coord
+        return self.x_min <= x <= self.x_max and self.y_min <= y <= self.y_max
+
+    def expanded_to(self, coord: Coord) -> "Rect":
+        """Return the smallest rectangle covering both self and *coord*."""
+        x, y = coord
+        return Rect(
+            min(self.x_min, x),
+            min(self.y_min, y),
+            max(self.x_max, x),
+            max(self.y_max, y),
+        )
+
+
+def bounding_rect(coords: Iterable[Coord]) -> Rect:
+    """Smallest rectangle enclosing *coords* (which must be non-empty)."""
+    coords = list(coords)
+    if not coords:
+        raise ValueError("bounding_rect() requires at least one coordinate")
+    xs = [c[0] for c in coords]
+    ys = [c[1] for c in coords]
+    return Rect(min(xs), min(ys), max(xs), max(ys))
+
+
+def manhattan(a: Coord, b: Coord) -> int:
+    """Manhattan (L1) distance between two grid coordinates."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])

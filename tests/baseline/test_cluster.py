@@ -1,0 +1,108 @@
+"""Tests for the constructive cluster-state model."""
+
+import networkx as nx
+import pytest
+
+from repro.baseline.cluster import (
+    cluster_3d_graph,
+    cluster_layer_graph,
+    layer_synthesis_cost,
+    logical_sites,
+    redundancy_stats,
+    verify_against_flat_bound,
+)
+from repro.baseline.metrics import cluster_side, physical_area
+from repro.hardware.resource_state import FOUR_STAR, THREE_LINE
+
+
+class TestClusterGraphs:
+    def test_layer_is_lattice(self):
+        g = cluster_layer_graph(5)
+        assert g.number_of_nodes() == 25
+        assert max(d for _, d in g.degree()) == 4
+
+    def test_3d_interior_degree_six(self):
+        g = cluster_3d_graph(5, 5)
+        assert g.degree((2, 2, 2)) == 6
+
+    def test_3d_corner_degree_three(self):
+        g = cluster_3d_graph(3, 3)
+        assert g.degree((0, 0, 0)) == 3
+
+    def test_3d_edge_count(self):
+        side, depth = 3, 2
+        g = cluster_3d_graph(side, depth)
+        expected = depth * 2 * side * (side - 1) + side * side * (depth - 1)
+        assert g.number_of_edges() == expected
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            cluster_layer_graph(0)
+        with pytest.raises(ValueError):
+            cluster_3d_graph(3, 0)
+
+
+class TestLogicalSites:
+    def test_sites_spaced(self):
+        sites = logical_sites(16)
+        assert len(sites) == 16
+        for (r, c) in sites:
+            assert r % 2 == 0 and c % 2 == 0
+
+    def test_sites_fit_cluster(self):
+        """All logical sites fall inside the Table-1 cluster layer."""
+        for n in (4, 16, 25, 100):
+            side = cluster_side(n)
+            for (r, c) in logical_sites(n):
+                assert 0 <= r < side and 0 <= c < side
+
+    def test_sites_distinct(self):
+        sites = logical_sites(25)
+        assert len(set(sites)) == 25
+
+
+class TestSynthesisCost:
+    def test_interior_node_costs_five(self):
+        """The paper's flat bound: degree-6 node = 5 three-qubit states."""
+        cost = layer_synthesis_cost(15)  # mostly interior
+        assert 4.5 < cost.states_per_node <= 5.0
+
+    def test_flat_bound_validates(self):
+        for side in (3, 7, 16):
+            ok, msg = verify_against_flat_bound(side)
+            assert ok, msg
+
+    def test_star_states_cheaper(self):
+        three = layer_synthesis_cost(9, THREE_LINE)
+        star = layer_synthesis_cost(9, FOUR_STAR)
+        assert star.resource_states < three.resource_states
+
+    def test_boundary_effect(self):
+        """Small layers have proportionally more cheap boundary nodes."""
+        small = layer_synthesis_cost(3)
+        large = layer_synthesis_cost(21)
+        assert small.states_per_node < large.states_per_node
+
+    def test_physical_area_consistent_with_cost(self):
+        """Table 1 physical area covers the exact per-layer state cost."""
+        for n in (16, 25, 36, 100):
+            side = cluster_side(n)
+            exact = layer_synthesis_cost(side).resource_states
+            assert physical_area(n) >= exact
+
+
+class TestRedundancy:
+    def test_most_qubits_redundant(self):
+        """The paper's motivation: cluster entanglement is mostly wasted."""
+        stats = redundancy_stats(16)
+        assert stats["redundant_fraction"] > 0.5
+
+    def test_redundancy_grows_with_size(self):
+        assert (
+            redundancy_stats(100)["redundant_fraction"]
+            > redundancy_stats(4)["redundant_fraction"]
+        )
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            redundancy_stats(16, used_fraction_per_strip=1.5)

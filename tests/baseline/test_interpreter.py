@@ -1,0 +1,97 @@
+"""Tests for the baseline cluster-state interpreter."""
+
+import math
+
+import pytest
+
+from repro.baseline.interpreter import (
+    PATTERN_WIDTHS,
+    baseline_depth,
+    compile_baseline,
+    gate_width,
+)
+from repro.baseline.mapper import route_on_grid
+from repro.circuit import Circuit, get_benchmark
+from repro.circuit.gates import Gate
+from repro.circuit.library import to_basic
+
+
+class TestGateWidth:
+    def test_clifford_narrower_than_rotation(self):
+        h = gate_width(Gate("h", (0,)))
+        rot = gate_width(Gate("rz", (0,), (0.3,)))
+        assert h < rot
+
+    def test_clifford_angle_rotation_is_narrow(self):
+        w = gate_width(Gate("rz", (0,), (math.pi / 2,)))
+        assert w == PATTERN_WIDTHS["clifford_1q"]
+
+    def test_cz_width(self):
+        assert gate_width(Gate("cz", (0, 1))) == PATTERN_WIDTHS["cz"]
+
+    def test_swap_is_three_cnots_wide(self):
+        assert gate_width(Gate("swap", (0, 1))) == 3 * PATTERN_WIDTHS["cz"]
+
+
+class TestBaselineDepth:
+    def test_empty_circuit(self):
+        routed = route_on_grid(Circuit(4))
+        assert baseline_depth(routed) == 0
+
+    def test_single_gate(self):
+        routed = route_on_grid(to_basic(Circuit(4).h(0)))
+        assert baseline_depth(routed) == PATTERN_WIDTHS["clifford_1q"]
+
+    def test_parallel_gates_share_columns(self):
+        parallel = route_on_grid(to_basic(Circuit(4).h(0).h(1).h(2).h(3)))
+        serial = route_on_grid(to_basic(Circuit(4).h(0).h(0).h(0).h(0)))
+        # (serial h's cancel in simplify; build basic circuit by hand)
+        assert baseline_depth(parallel) == PATTERN_WIDTHS["clifford_1q"]
+
+    def test_serial_gates_accumulate(self):
+        c = Circuit(2)
+        for _ in range(3):
+            c.add("rz", 0, params=(0.4,))
+            c.add("h", 0)
+        routed = route_on_grid(c)
+        expected = 3 * (
+            PATTERN_WIDTHS["rotation_1q"] + PATTERN_WIDTHS["clifford_1q"]
+        )
+        assert baseline_depth(routed) == expected
+
+
+class TestCompileBaseline:
+    def test_fusion_identity(self):
+        """Paper Table 2 relation: #fusions = depth x physical area."""
+        r = compile_baseline(get_benchmark("BV", 16), "BV")
+        assert r.num_fusions == r.depth * r.areas.physical_area
+
+    @pytest.mark.parametrize("name", ["QFT", "QAOA", "RCA", "BV"])
+    def test_depth_positive(self, name):
+        r = compile_baseline(get_benchmark(name, 16), name)
+        assert r.depth > 0
+
+    def test_depth_grows_with_qubits(self):
+        d16 = compile_baseline(get_benchmark("QFT", 16), "QFT").depth
+        d25 = compile_baseline(get_benchmark("QFT", 25), "QFT").depth
+        assert d25 > d16
+
+    def test_bv_is_cheapest(self):
+        """BV is the shallowest benchmark at 16 qubits (paper Table 2)."""
+        depths = {
+            name: compile_baseline(get_benchmark(name, 16), name).depth
+            for name in ("QFT", "QAOA", "RCA", "BV")
+        }
+        assert depths["BV"] == min(depths.values())
+        assert depths["QFT"] == max(depths.values())
+
+    def test_areas_recorded(self):
+        r = compile_baseline(get_benchmark("QFT", 25), "QFT")
+        assert r.cluster_area == 81
+        assert r.physical_area == 441
+
+    def test_deterministic(self):
+        a = compile_baseline(get_benchmark("QAOA", 16), "QAOA")
+        b = compile_baseline(get_benchmark("QAOA", 16), "QAOA")
+        assert a.depth == b.depth
+        assert a.num_fusions == b.num_fusions

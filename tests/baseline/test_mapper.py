@@ -1,0 +1,80 @@
+"""Tests for the baseline grid SWAP router."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.mapper import GridRouter, logical_grid_side, route_on_grid
+from repro.circuit import Circuit, get_benchmark
+from repro.circuit.library import to_basic
+from repro.sim.statevector import simulate, states_equal_up_to_phase
+from tests.conftest import random_circuit
+
+
+def embed_state(psi, num_logical, routed):
+    """Embed a logical state into routed grid wires via final layout."""
+    side = routed.grid_side
+    total = side * side
+    big = np.zeros(2**total, dtype=complex)
+    perm = {q: routed.position_index(q) for q in range(num_logical)}
+    for idx in range(len(psi)):
+        if abs(psi[idx]) < 1e-14:
+            continue
+        target = 0
+        for q in range(num_logical):
+            if (idx >> q) & 1:
+                target |= 1 << perm[q]
+        big[target] = psi[idx]
+    return big
+
+
+class TestLogicalGridSide:
+    @pytest.mark.parametrize("n,side", [(1, 1), (4, 2), (5, 3), (16, 4), (17, 5)])
+    def test_side(self, n, side):
+        assert logical_grid_side(n) == side
+
+
+class TestRouting:
+    def test_adjacent_gate_unchanged(self):
+        c = Circuit(4).cz(0, 1)
+        routed = route_on_grid(c)
+        assert routed.swap_count == 0
+
+    def test_distant_gate_needs_swaps(self):
+        c = Circuit(9).cz(0, 8)  # corners of a 3x3 grid
+        routed = route_on_grid(c)
+        assert routed.swap_count >= 3  # distance 4 -> >= 3 swaps
+
+    def test_all_2q_gates_adjacent_after_routing(self):
+        c = to_basic(get_benchmark("QFT", 9))
+        routed = route_on_grid(c)
+        side = routed.grid_side
+        for gate in routed.circuit:
+            if gate.arity == 2:
+                (a, b) = gate.qubits
+                ra, ca = divmod(a, side)
+                rb, cb = divmod(b, side)
+                assert abs(ra - rb) + abs(ca - cb) == 1, f"{gate} not adjacent"
+
+    def test_wrong_size_rejected(self):
+        router = GridRouter(4)
+        with pytest.raises(ValueError):
+            router.route(Circuit(5))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_semantics_preserved(self, seed):
+        """Routed circuit equals the original up to the final layout."""
+        c = to_basic(random_circuit(4, 10, seed + 700))
+        routed = route_on_grid(c)
+        psi = simulate(c)
+        phi = simulate(routed.circuit)
+        assert states_equal_up_to_phase(embed_state(psi, 4, routed), phi)
+
+    def test_swap_count_deterministic(self):
+        c = to_basic(get_benchmark("QAOA", 9))
+        assert route_on_grid(c).swap_count == route_on_grid(c).swap_count
+
+    def test_final_layout_is_permutation(self):
+        c = to_basic(get_benchmark("QFT", 8))
+        routed = route_on_grid(c)
+        positions = set(routed.final_layout.values())
+        assert len(positions) == 8

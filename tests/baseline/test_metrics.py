@@ -1,0 +1,55 @@
+"""Tests for baseline areas: these must match Table 1 exactly."""
+
+import pytest
+
+from repro.baseline.metrics import (
+    BaselineAreas,
+    cluster_area,
+    cluster_side,
+    physical_area,
+    physical_side,
+)
+from repro.hardware.resource_state import FOUR_STAR, THREE_LINE
+
+
+class TestTable1Exact:
+    """Paper Table 1, reproduced exactly."""
+
+    @pytest.mark.parametrize(
+        "n,cside,pside",
+        [(16, 7, 16), (25, 9, 21), (36, 11, 25), (100, 19, 43)],
+    )
+    def test_paper_values(self, n, cside, pside):
+        assert cluster_side(n) == cside
+        assert physical_side(n) == pside
+
+    def test_cluster_area_is_square(self):
+        assert cluster_area(16) == 49
+        assert cluster_area(100) == 361
+
+    def test_physical_area_is_square(self):
+        assert physical_area(16) == 256
+        assert physical_area(100) == 1849
+
+
+class TestScaling:
+    def test_cluster_side_monotone(self):
+        sides = [cluster_side(n) for n in range(1, 101)]
+        assert sides == sorted(sides)
+
+    def test_physical_dominates_cluster(self):
+        for n in (4, 9, 25, 64):
+            assert physical_area(n) > cluster_area(n)
+
+    def test_resource_state_changes_physical_area(self):
+        """4-star synthesizes degree-6 nodes in fewer states (Sec. 5)."""
+        assert physical_area(16, FOUR_STAR) < physical_area(16, THREE_LINE)
+
+    def test_areas_dataclass(self):
+        areas = BaselineAreas.for_qubits(16)
+        assert areas.cluster_area == areas.cluster_side**2
+        assert areas.physical_area == areas.physical_side**2
+
+    def test_single_qubit(self):
+        assert cluster_side(1) == 1
+        assert physical_side(1) >= 2

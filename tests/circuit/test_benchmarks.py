@@ -1,0 +1,159 @@
+"""Tests for the paper benchmark generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    bernstein_vazirani,
+    get_benchmark,
+    qaoa_maxcut,
+    qft,
+    random_maxcut_edges,
+    random_secret_string,
+    ripple_carry_adder,
+)
+from repro.sim.statevector import basis_state_distribution, simulate
+
+
+class TestQFT:
+    def test_gate_count(self):
+        c = qft(4)
+        ops = c.count_ops()
+        assert ops["h"] == 4
+        assert ops["cp"] == 6  # n(n-1)/2
+        assert ops["swap"] == 2
+
+    def test_no_swaps_option(self):
+        assert "swap" not in qft(4, include_swaps=False).count_ops()
+
+    def test_matches_dft_matrix(self):
+        n = 3
+        state = simulate(qft(n))
+        # QFT|0> is the uniform superposition
+        expected = np.ones(2**n, dtype=complex) / math.sqrt(2**n)
+        assert np.allclose(state, expected, atol=1e-8)
+
+    @pytest.mark.parametrize("x", [1, 3, 5])
+    def test_qft_on_basis_state(self, x):
+        """Textbook QFT: wire 0 is the most significant bit (big-endian).
+
+        With our little-endian simulator this means the circuit equals
+        ``R @ DFT @ R`` where ``R`` is the bit-reversal permutation.
+        """
+        n = 3
+        dim = 2**n
+        init = np.zeros(dim, dtype=complex)
+        init[x] = 1.0
+        state = simulate(qft(n), init)
+
+        def rev(k):
+            return int(format(k, f"0{n}b")[::-1], 2)
+
+        omega = np.exp(2j * math.pi / dim)
+        expected = np.zeros(dim, dtype=complex)
+        for m in range(dim):
+            expected[m] = omega ** (rev(x) * rev(m)) / math.sqrt(dim)
+        assert np.allclose(state, expected, atol=1e-8)
+
+
+class TestQAOA:
+    def test_deterministic(self):
+        assert qaoa_maxcut(6, seed=3) == qaoa_maxcut(6, seed=3)
+
+    def test_seed_changes_circuit(self):
+        assert qaoa_maxcut(6, seed=3) != qaoa_maxcut(6, seed=4)
+
+    def test_edge_count_half_of_complete(self):
+        edges = random_maxcut_edges(8, seed=1)
+        assert len(edges) == (8 * 7 // 2) // 2
+
+    def test_edges_valid(self):
+        for i, j in random_maxcut_edges(10, seed=2):
+            assert 0 <= i < j < 10
+
+    def test_rounds_scale_gates(self):
+        one = qaoa_maxcut(6, rounds=1)
+        two = qaoa_maxcut(6, rounds=2)
+        assert len(two) > len(one)
+
+    def test_custom_edges(self):
+        c = qaoa_maxcut(4, edges=[(0, 1)])
+        assert c.count_ops()["cx"] == 2
+
+
+class TestRCA:
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(3)
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 1), (2, 3), (3, 3)])
+    def test_addition_correct(self, a, b):
+        """The adder computes b <- a + b (mod 4) with carry-out."""
+        n = 2
+        num_qubits = 2 * n + 2
+        circuit = Circuit(num_qubits)
+        # encode operands: b at wires 1,3; a at wires 2,4
+        for i in range(n):
+            if (b >> i) & 1:
+                circuit.x(1 + 2 * i)
+            if (a >> i) & 1:
+                circuit.x(2 + 2 * i)
+        for gate in ripple_carry_adder(num_qubits):
+            circuit.append(gate)
+        dist = basis_state_distribution(simulate(circuit))
+        assert len(dist) == 1
+        (idx, prob), = dist.items()
+        assert prob == pytest.approx(1.0)
+        total = a + b
+        b_out = sum(((idx >> (1 + 2 * i)) & 1) << i for i in range(n))
+        a_out = sum(((idx >> (2 + 2 * i)) & 1) << i for i in range(n))
+        carry = (idx >> (2 * n + 1)) & 1
+        assert b_out == total % (2**n)
+        assert carry == (1 if total >= 2**n else 0)
+        assert a_out == a  # a register restored
+
+    def test_idle_qubits_untouched(self):
+        c = ripple_carry_adder(7)  # n=2, uses 6 qubits, wire 6 idle
+        used = {q for g in c for q in g.qubits}
+        assert 6 not in used
+
+
+class TestBV:
+    @pytest.mark.parametrize("secret", ["101", "000", "111", "010"])
+    def test_secret_recovered(self, secret):
+        """Inputs hold the secret deterministically (ancilla stays in |->)."""
+        c = bernstein_vazirani(4, secret=secret)
+        dist = basis_state_distribution(simulate(c))
+        input_bits = {
+            "".join(str((idx >> q) & 1) for q in range(3)) for idx in dist
+        }
+        assert input_bits == {secret}
+
+    def test_wrong_secret_length_rejected(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani(4, secret="10")
+
+    def test_random_secret_half_ones(self):
+        s = random_secret_string(10, seed=5)
+        assert s.count("1") == 5
+
+    def test_random_secret_deterministic(self):
+        assert random_secret_string(8, seed=1) == random_secret_string(8, seed=1)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["QFT", "QAOA", "RCA", "BV"])
+    def test_get_benchmark(self, name):
+        c = get_benchmark(name, 8)
+        assert c.num_qubits == 8
+        assert len(c) > 0
+
+    def test_case_insensitive(self):
+        assert get_benchmark("qft", 4) == get_benchmark("QFT", 4)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_benchmark("shor", 4)

@@ -1,0 +1,84 @@
+"""Tests for the Circuit container."""
+
+import pytest
+
+from repro.circuit import Circuit
+from repro.circuit.gates import Gate
+
+
+class TestConstruction:
+    def test_empty(self):
+        c = Circuit(3)
+        assert len(c) == 0
+        assert c.num_qubits == 3
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+
+    def test_append_out_of_range_rejected(self):
+        c = Circuit(2)
+        with pytest.raises(ValueError, match="outside circuit"):
+            c.append(Gate("h", (2,)))
+
+    def test_builder_methods_chain(self):
+        c = Circuit(2).h(0).cx(0, 1).rz(0.5, 1)
+        assert [g.name for g in c] == ["h", "cx", "rz"]
+
+    def test_from_iterable(self):
+        gates = [Gate("h", (0,)), Gate("cz", (0, 1))]
+        c = Circuit(2, gates)
+        assert len(c) == 2
+
+    def test_copy_independent(self):
+        c = Circuit(1).h(0)
+        d = c.copy()
+        d.x(0)
+        assert len(c) == 1
+        assert len(d) == 2
+
+
+class TestQueries:
+    def test_count_ops(self):
+        c = Circuit(2).h(0).h(1).cz(0, 1)
+        assert c.count_ops() == {"h": 2, "cz": 1}
+
+    def test_two_qubit_pairs(self):
+        c = Circuit(3).cx(0, 1).h(2).cz(1, 2)
+        assert c.two_qubit_pairs() == [(0, 1), (1, 2)]
+
+    def test_depth_parallel_gates(self):
+        c = Circuit(2).h(0).h(1)
+        assert c.depth() == 1
+
+    def test_depth_serial_gates(self):
+        c = Circuit(1).h(0).t(0).h(0)
+        assert c.depth() == 3
+
+    def test_depth_two_qubit_sync(self):
+        c = Circuit(2).h(0).cz(0, 1).h(1)
+        assert c.depth() == 3
+
+    def test_depth_empty(self):
+        assert Circuit(4).depth() == 0
+
+    def test_moments_cover_all_gates(self):
+        c = Circuit(3).h(0).cx(0, 1).h(2).cz(1, 2).t(0)
+        moments = c.moments()
+        assert sum(len(m) for m in moments) == len(c)
+
+    def test_moments_respect_order(self):
+        c = Circuit(2).h(0).cz(0, 1)
+        moments = c.moments()
+        assert moments[0][0].name == "h"
+        assert moments[1][0].name == "cz"
+
+    def test_equality(self):
+        a = Circuit(2).h(0)
+        b = Circuit(2).h(0)
+        assert a == b
+        b.x(1)
+        assert a != b
+
+    def test_equality_different_sizes(self):
+        assert Circuit(2) != Circuit(3)

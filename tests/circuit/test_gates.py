@@ -1,0 +1,71 @@
+"""Tests for the gate data model."""
+
+import pytest
+
+from repro.circuit.gates import CLIFFORD_1Q, GATE_SIGNATURES, Gate
+
+
+class TestGateValidation:
+    def test_valid_gate(self):
+        g = Gate("h", (0,))
+        assert g.arity == 1
+        assert not g.is_two_qubit
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown gate"):
+            Gate("foo", (0,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="expects 2 qubits"):
+            Gate("cz", (0,))
+
+    def test_wrong_params_rejected(self):
+        with pytest.raises(ValueError, match="expects 1 params"):
+            Gate("rz", (0,))
+
+    def test_extra_params_rejected(self):
+        with pytest.raises(ValueError, match="expects 0 params"):
+            Gate("h", (0,), (0.5,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Gate("cz", (1, 1))
+
+    def test_negative_qubit_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Gate("h", (-1,))
+
+    def test_frozen(self):
+        g = Gate("x", (0,))
+        with pytest.raises(AttributeError):
+            g.name = "y"
+
+
+class TestGateProperties:
+    def test_two_qubit_flag(self):
+        assert Gate("cz", (0, 1)).is_two_qubit
+        assert not Gate("ccx", (0, 1, 2)).is_two_qubit
+
+    def test_remapped(self):
+        g = Gate("cx", (0, 1)).remapped({0: 5, 1: 3})
+        assert g.qubits == (5, 3)
+        assert g.name == "cx"
+
+    def test_remapped_preserves_params(self):
+        g = Gate("rz", (2,), (0.7,)).remapped({2: 0})
+        assert g.params == (0.7,)
+
+    def test_equality(self):
+        assert Gate("rz", (0,), (0.5,)) == Gate("rz", (0,), (0.5,))
+        assert Gate("rz", (0,), (0.5,)) != Gate("rz", (0,), (0.6,))
+
+    def test_signature_table_consistent(self):
+        for name, (arity, n_params) in GATE_SIGNATURES.items():
+            qubits = tuple(range(arity))
+            params = tuple(0.1 for _ in range(n_params))
+            g = Gate(name, qubits, params)
+            assert g.arity == arity
+
+    def test_clifford_set_members(self):
+        assert "h" in CLIFFORD_1Q
+        assert "t" not in CLIFFORD_1Q

@@ -1,0 +1,134 @@
+"""Equivalence tests for the gate-set lowering passes.
+
+These pin every decomposition convention in the project numerically.
+"""
+
+import math
+
+import pytest
+
+from repro.circuit import Circuit, simplify_basic, to_basic, to_jcz
+from repro.sim.statevector import circuit_unitary, unitaries_equal_up_to_phase
+from tests.conftest import random_circuit
+
+ALL_1Q = ["i", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx"]
+
+
+def assert_equivalent(circuit, lowered):
+    assert unitaries_equal_up_to_phase(
+        circuit_unitary(circuit), circuit_unitary(lowered)
+    ), f"lowering changed semantics: {[str(g) for g in circuit]}"
+
+
+class TestToBasic:
+    @pytest.mark.parametrize("name", ALL_1Q)
+    def test_named_1q_gates(self, name):
+        c = Circuit(1).add(name, 0)
+        assert_equivalent(c, to_basic(c))
+
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz", "p"])
+    @pytest.mark.parametrize("theta", [0.3, math.pi / 4, -1.2, math.pi])
+    def test_rotations(self, name, theta):
+        c = Circuit(1).add(name, 0, params=(theta,))
+        assert_equivalent(c, to_basic(c))
+
+    @pytest.mark.parametrize("name", ["cz", "cx", "swap"])
+    def test_2q_gates(self, name):
+        c = Circuit(2).add(name, 0, 1)
+        assert_equivalent(c, to_basic(c))
+
+    def test_cx_reversed_direction(self):
+        c = Circuit(2).cx(1, 0)
+        assert_equivalent(c, to_basic(c))
+
+    @pytest.mark.parametrize("theta", [0.7, math.pi / 8])
+    def test_cp(self, theta):
+        c = Circuit(2).cp(theta, 0, 1)
+        assert_equivalent(c, to_basic(c))
+
+    def test_ccx(self):
+        c = Circuit(3).ccx(0, 1, 2)
+        assert_equivalent(c, to_basic(c))
+
+    def test_ccx_permuted(self):
+        c = Circuit(3).ccx(2, 0, 1)
+        assert_equivalent(c, to_basic(c))
+
+    def test_output_gate_set(self):
+        c = Circuit(3).ccx(0, 1, 2).cp(0.5, 0, 2).swap(1, 2).ry(0.3, 0)
+        lowered = to_basic(c)
+        assert set(lowered.count_ops()) <= {"h", "rz", "rx", "cz"}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_circuits(self, seed):
+        c = random_circuit(3, 12, seed, two_qubit_gates=("cz", "cx", "swap", "cp"))
+        assert_equivalent(c, to_basic(c))
+
+
+class TestToJcz:
+    def test_output_gate_set(self):
+        c = Circuit(2).h(0).t(1).cx(0, 1).ry(1.1, 0)
+        lowered = to_jcz(c)
+        assert set(lowered.count_ops()) <= {"j", "cz"}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_circuits(self, seed):
+        c = random_circuit(3, 12, seed)
+        assert_equivalent(c, to_jcz(c))
+
+    def test_simplify_false_still_equivalent(self):
+        c = Circuit(2).h(0).h(0).cx(0, 1)
+        assert_equivalent(c, to_jcz(c, simplify=False))
+
+    def test_hh_cancellation_reduces_gates(self):
+        c = Circuit(1).h(0).h(0)
+        assert len(to_jcz(c)) == 0
+
+    def test_rotation_merge_reduces_gates(self):
+        c = Circuit(1).rz(0.5, 0).rz(0.25, 0)
+        merged = to_jcz(c)
+        single = to_jcz(Circuit(1).rz(0.75, 0))
+        assert len(merged) == len(single)
+        assert_equivalent(c, merged)
+
+
+class TestSimplifyBasic:
+    def test_hh_cancel(self):
+        c = to_basic(Circuit(1).h(0).h(0))
+        assert len(simplify_basic(c)) == 0
+
+    def test_rz_merge(self):
+        c = Circuit(1)
+        c.add("rz", 0, params=(0.5,))
+        c.add("rz", 0, params=(-0.5,))
+        assert len(simplify_basic(c)) == 0
+
+    def test_zero_rotation_dropped(self):
+        c = Circuit(1)
+        c.add("rx", 0, params=(0.0,))
+        assert len(simplify_basic(c)) == 0
+
+    def test_intervening_gate_blocks_merge(self):
+        c = Circuit(2)
+        c.add("rz", 0, params=(0.5,))
+        c.add("cz", 0, 1)
+        c.add("rz", 0, params=(0.5,))
+        assert len(simplify_basic(c)) == 3
+
+    def test_other_wire_does_not_block(self):
+        c = Circuit(2)
+        c.add("h", 0)
+        c.add("h", 1)
+        c.add("h", 0)
+        simplified = simplify_basic(c)
+        assert simplified.count_ops() == {"h": 1}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_equivalence(self, seed):
+        c = to_basic(random_circuit(3, 15, seed + 100))
+        assert_equivalent(c, simplify_basic(c))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_grows(self, seed):
+        c = to_basic(random_circuit(3, 15, seed + 200))
+        assert len(simplify_basic(c)) <= len(c)

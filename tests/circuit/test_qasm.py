@@ -1,0 +1,106 @@
+"""Tests for OpenQASM 2.0 interop."""
+
+import math
+
+import pytest
+
+from repro.circuit import Circuit, get_benchmark, to_jcz
+from repro.circuit.qasm import from_qasm, to_qasm
+from repro.sim.statevector import circuit_unitary, unitaries_equal_up_to_phase
+from tests.conftest import random_circuit
+
+
+class TestExport:
+    def test_header(self):
+        text = to_qasm(Circuit(2).h(0))
+        assert text.startswith("OPENQASM 2.0;")
+        assert 'include "qelib1.inc";' in text
+        assert "qreg q[2];" in text
+
+    def test_gate_lines(self):
+        text = to_qasm(Circuit(2).h(0).cx(0, 1).rz(math.pi / 4, 1))
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "rz(pi/4) q[1];" in text
+
+    def test_pi_formatting(self):
+        text = to_qasm(Circuit(1).rz(3 * math.pi / 2, 0))
+        assert "3*pi/2" in text
+
+    def test_j_gate_expands(self):
+        text = to_qasm(Circuit(1).j(0.5, 0))
+        assert "rz(0.5) q[0];" in text
+        assert "h q[0];" in text
+
+    def test_identity_named_id(self):
+        assert "id q[0];" in to_qasm(Circuit(1).i(0))
+
+
+class TestImport:
+    def test_roundtrip_simple(self):
+        c = Circuit(3).h(0).cx(0, 1).t(2).swap(1, 2).ccx(0, 1, 2)
+        back = from_qasm(to_qasm(c))
+        assert back == c
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roundtrip_random_semantics(self, seed):
+        c = random_circuit(3, 10, seed + 4000)
+        back = from_qasm(to_qasm(c))
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(c), circuit_unitary(back)
+        )
+
+    def test_roundtrip_jcz(self):
+        """J/CZ circuits survive export (J expands to rz + h)."""
+        c = to_jcz(Circuit(2).h(0).t(0).cx(0, 1))
+        back = from_qasm(to_qasm(c))
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(c), circuit_unitary(back)
+        )
+
+    def test_roundtrip_benchmark(self):
+        c = get_benchmark("BV", 6)
+        back = from_qasm(to_qasm(c))
+        assert back == c
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        // a comment
+        qreg q[1];
+
+        h q[0]; // trailing comment
+        """
+        c = from_qasm(text)
+        assert c.count_ops() == {"h": 1}
+
+    def test_measure_and_barrier_skipped(self):
+        text = (
+            "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\n"
+            "h q[0];\nbarrier q;\nmeasure q[0] -> c[0];\n"
+        )
+        c = from_qasm(text)
+        assert c.count_ops() == {"h": 1}
+
+    def test_u1_alias(self):
+        c = from_qasm("OPENQASM 2.0;\nqreg q[1];\nu1(0.5) q[0];\n")
+        assert c.gates[0].name == "p"
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(ValueError, match="qreg"):
+            from_qasm("OPENQASM 2.0;\nh q[0];\n")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError, match="unsupported gate"):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nfoo q[0];\n")
+
+    def test_malicious_angle_rejected(self):
+        with pytest.raises(ValueError, match="angle"):
+            from_qasm(
+                'OPENQASM 2.0;\nqreg q[1];\nrz(__import__("os")) q[0];\n'
+            )
+
+    def test_two_registers_rejected(self):
+        with pytest.raises(ValueError, match="one quantum register"):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nqreg r[1];\n")

@@ -1,0 +1,102 @@
+"""Tests for planarity utilities."""
+
+import networkx as nx
+import pytest
+
+from repro.core.planarity import (
+    is_planar,
+    maximal_planar_subgraph,
+    planar_edge_decomposition,
+    planar_embedding_order,
+)
+
+
+class TestIsPlanar:
+    def test_k4_planar(self):
+        assert is_planar(nx.complete_graph(4))
+
+    def test_k5_not_planar(self):
+        assert not is_planar(nx.complete_graph(5))
+
+    def test_k33_not_planar(self):
+        assert not is_planar(nx.complete_bipartite_graph(3, 3))
+
+    def test_grid_planar(self):
+        assert is_planar(nx.grid_2d_graph(5, 5))
+
+
+class TestEmbeddingOrder:
+    def test_returns_none_for_nonplanar(self):
+        assert planar_embedding_order(nx.complete_graph(5)) is None
+
+    def test_covers_all_nodes(self):
+        g = nx.cycle_graph(6)
+        order = planar_embedding_order(g)
+        assert set(order) == set(g.nodes())
+
+    def test_each_node_lists_its_neighbors(self):
+        g = nx.wheel_graph(6)
+        order = planar_embedding_order(g)
+        for node, nbrs in order.items():
+            assert set(nbrs) == set(g.neighbors(node))
+
+    def test_isolated_node_empty_order(self):
+        g = nx.Graph()
+        g.add_node(7)
+        assert planar_embedding_order(g) == {7: []}
+
+
+class TestMaximalPlanarSubgraph:
+    def test_planar_input_unchanged(self):
+        g = nx.cycle_graph(5)
+        sub, leftover = maximal_planar_subgraph(g)
+        assert leftover == []
+        assert sub.number_of_edges() == 5
+
+    def test_k5_drops_at_least_one_edge(self):
+        sub, leftover = maximal_planar_subgraph(nx.complete_graph(5))
+        assert leftover
+        assert is_planar(sub)
+
+    def test_leftover_edges_break_planarity(self):
+        """Maximality: re-adding any leftover edge breaks planarity."""
+        sub, leftover = maximal_planar_subgraph(nx.complete_graph(6))
+        for u, v in leftover:
+            test = sub.copy()
+            test.add_edge(u, v)
+            assert not is_planar(test)
+
+    def test_nodes_preserved(self):
+        g = nx.complete_graph(5)
+        sub, _ = maximal_planar_subgraph(g)
+        assert set(sub.nodes()) == set(g.nodes())
+
+
+class TestPlanarEdgeDecomposition:
+    def test_planar_graph_single_piece(self):
+        pieces = planar_edge_decomposition(nx.cycle_graph(4))
+        assert len(pieces) == 1
+
+    def test_k6_multiple_pieces(self):
+        g = nx.complete_graph(6)
+        pieces = planar_edge_decomposition(g)
+        assert len(pieces) >= 2
+        assert all(is_planar(p) for p in pieces)
+
+    def test_edges_partitioned_exactly(self):
+        g = nx.complete_graph(6)
+        pieces = planar_edge_decomposition(g)
+        seen = set()
+        for piece in pieces:
+            for e in piece.edges():
+                key = frozenset(e)
+                assert key not in seen
+                seen.add(key)
+        assert seen == {frozenset(e) for e in g.edges()}
+
+    def test_edgeless_graph(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        pieces = planar_edge_decomposition(g)
+        assert len(pieces) == 1
+        assert pieces[0].number_of_edges() == 0

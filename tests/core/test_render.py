@@ -1,0 +1,54 @@
+"""Tests for ASCII layout rendering."""
+
+from repro.circuit import bernstein_vazirani, qft
+from repro.core import compile_circuit, render_layer, render_program
+from repro.core.mapping import LayerLayout
+from repro.hardware import HardwareConfig
+
+
+class TestRenderLayer:
+    def test_empty_layer(self):
+        layout = LayerLayout(index=0, shape=(2, 3))
+        assert render_layer(layout) == "...\n..."
+
+    def test_node_markers(self):
+        layout = LayerLayout(index=0, shape=(2, 2))
+        layout.node_at[(0, 0)] = ("a", 0)
+        layout.node_at[(1, 1)] = ("b", 0)
+        layout.incomplete.add(("b", 0))
+        text = render_layer(layout)
+        assert text.splitlines()[0][0] == "o"
+        assert text.splitlines()[1][1] == "?"
+
+    def test_aux_marker(self):
+        layout = LayerLayout(index=0, shape=(1, 2))
+        layout.aux_cells.add((0, 1))
+        assert render_layer(layout) == ".*"
+
+
+class TestRenderProgram:
+    def test_contains_summary_and_grid(self):
+        prog = compile_circuit(
+            bernstein_vazirani(8), HardwareConfig.square(10), name="bv8"
+        )
+        text = render_program(prog)
+        assert "bv8" in text
+        assert "layer 0" in text
+        assert "o" in text
+
+    def test_max_layers_truncation(self):
+        prog = compile_circuit(qft(6), HardwareConfig.square(6))
+        text = render_program(prog, max_layers=1)
+        if prog.mapping_layers > 1:
+            assert "more layers" in text
+
+    def test_grid_dimensions(self):
+        prog = compile_circuit(
+            bernstein_vazirani(6), HardwareConfig(rows=5, cols=9)
+        )
+        grid_lines = [
+            l for l in render_program(prog, max_layers=1).splitlines()
+            if set(l) <= {"o", "?", "*", "."} and l
+        ]
+        assert len(grid_lines) == 5
+        assert all(len(l) == 9 for l in grid_lines)

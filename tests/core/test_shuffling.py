@@ -1,0 +1,78 @@
+"""Tests for inter-layer shuffling."""
+
+import pytest
+
+from repro.core.shuffling import ShuffleLayer, connect_pairs
+
+
+class TestShuffleLayer:
+    def test_direct_route(self):
+        layer = ShuffleLayer(shape=(8, 8))
+        path = layer.try_route((0, 0), (0, 3))
+        assert path is not None
+        assert path[0] == (0, 0)
+        assert path[-1] == (0, 3)
+        assert len(path) == 4
+
+    def test_same_cell(self):
+        layer = ShuffleLayer(shape=(4, 4))
+        path = layer.try_route((2, 2), (2, 2))
+        assert path == [(2, 2)]
+
+    def test_blocked_endpoint(self):
+        layer = ShuffleLayer(shape=(4, 4))
+        layer.try_route((0, 0), (0, 3))
+        assert layer.try_route((0, 0), (3, 3)) is None
+
+    def test_paths_do_not_cross(self):
+        layer = ShuffleLayer(shape=(8, 8))
+        p1 = layer.try_route((0, 0), (0, 7))
+        p2 = layer.try_route((3, 0), (3, 7))
+        assert p1 and p2
+        assert not (set(p1) & set(p2))
+
+    def test_detour_around_used_cells(self):
+        layer = ShuffleLayer(shape=(5, 5))
+        layer.used.update({(2, c) for c in range(4)})  # wall with gap at col 4
+        path = layer.try_route((0, 0), (4, 0))
+        assert path is not None
+        assert all(cell not in {(2, c) for c in range(4)} for cell in path)
+
+
+class TestConnectPairs:
+    def test_empty(self):
+        result = connect_pairs([], (8, 8))
+        assert result.fusions == 0
+        assert result.num_layers == 0
+
+    def test_same_coord_pure_temporal(self):
+        """Same RSG location across layers: one delay-line fusion."""
+        result = connect_pairs([((2, 2), (2, 2))], (8, 8))
+        assert result.fusions == 1
+        assert result.num_layers == 0
+
+    def test_single_pair_cost(self):
+        """Cost = 2 temporal hops + path segments."""
+        result = connect_pairs([((0, 0), (0, 3))], (8, 8))
+        assert result.fusions == 2 + 3
+        assert result.num_layers == 1
+
+    def test_many_pairs_allocate_layers(self):
+        # saturate a tiny layer: disjoint long pairs
+        pairs = [((r, 0), (r, 3)) for r in range(4)] * 3
+        result = connect_pairs(pairs, (4, 4))
+        assert result.connected == len(pairs)
+        assert result.num_layers >= 3
+
+    def test_short_pairs_packed_first(self):
+        """Processing is distance-sorted, so short pairs share a layer."""
+        pairs = [((0, 0), (0, 1)), ((2, 0), (2, 1)), ((0, 0), (3, 3))]
+        result = connect_pairs(pairs, (4, 4))
+        assert result.connected == 3
+
+    def test_deterministic(self):
+        pairs = [((0, 0), (3, 3)), ((1, 1), (2, 0))]
+        a = connect_pairs(pairs, (6, 6))
+        b = connect_pairs(pairs, (6, 6))
+        assert a.fusions == b.fusions
+        assert a.num_layers == b.num_layers

@@ -1,0 +1,95 @@
+"""Tests for post-compilation hardware validation."""
+
+import pytest
+
+from repro.circuit import get_benchmark, qft
+from repro.core import compile_circuit
+from repro.core.mapping import LayerLayout
+from repro.core.validate import ValidationError, assert_valid, validate_program
+from repro.hardware import FOUR_STAR, HardwareConfig
+
+
+class TestCompiledProgramsAreValid:
+    @pytest.mark.parametrize("name", ["QFT", "QAOA", "RCA", "BV"])
+    def test_benchmarks_validate(self, name):
+        hardware = HardwareConfig.square(16)
+        program = compile_circuit(get_benchmark(name, 16), hardware)
+        ok, errors = validate_program(program, hardware)
+        assert ok, errors[:5]
+
+    def test_extended_layers_validate(self):
+        hardware = HardwareConfig(rows=10, cols=10, extension=3)
+        program = compile_circuit(qft(8), hardware)
+        assert_valid(program, hardware)
+
+    def test_star_resource_state_validates(self):
+        hardware = HardwareConfig.square(12, resource_state=FOUR_STAR)
+        program = compile_circuit(qft(6), hardware)
+        assert_valid(program, hardware)
+
+    def test_tight_grid_validates(self):
+        """Heavy spill/shuffle paths still respect photon budgets."""
+        hardware = HardwareConfig(rows=5, cols=5)
+        program = compile_circuit(qft(6), hardware)
+        assert_valid(program, hardware)
+
+
+class TestViolationsDetected:
+    def _program_with_layout(self, layout):
+        hardware = HardwareConfig.square(8)
+        program = compile_circuit(qft(3), hardware)
+        program.layouts = [layout]
+        return program, hardware
+
+    def test_wrong_shape(self):
+        layout = LayerLayout(index=0, shape=(4, 4))
+        program, hardware = self._program_with_layout(layout)
+        ok, errors = validate_program(program, hardware)
+        assert not ok
+        assert "shape" in errors[0]
+
+    def test_out_of_bounds_cell(self):
+        layout = LayerLayout(index=0, shape=(8, 8))
+        layout.node_at[(9, 0)] = ("x", 0)
+        program, hardware = self._program_with_layout(layout)
+        ok, errors = validate_program(program, hardware)
+        assert any("outside" in e for e in errors)
+
+    def test_non_adjacent_path(self):
+        layout = LayerLayout(index=0, shape=(8, 8))
+        layout.paths.append([(0, 0), (2, 2)])
+        program, hardware = self._program_with_layout(layout)
+        ok, errors = validate_program(program, hardware)
+        assert any("non-adjacent" in e for e in errors)
+
+    def test_photon_budget_violation(self):
+        layout = LayerLayout(index=0, shape=(8, 8))
+        layout.node_at[(3, 3)] = ("x", 0)
+        for nbr in [(2, 3), (4, 3), (3, 2), (3, 4)]:
+            layout.node_at[nbr] = ("y", nbr[0])
+            layout.paths.append([(3, 3), nbr])
+        program, hardware = self._program_with_layout(layout)
+        ok, errors = validate_program(program, hardware)
+        assert any("photons" in e for e in errors)
+
+    def test_double_path_through_aux(self):
+        layout = LayerLayout(index=0, shape=(8, 8))
+        layout.aux_cells.add((1, 1))
+        layout.paths.append([(1, 0), (1, 1), (1, 2)])
+        layout.paths.append([(0, 1), (1, 1), (2, 1)])
+        program, hardware = self._program_with_layout(layout)
+        ok, errors = validate_program(program, hardware)
+        assert any("routing paths" in e for e in errors)
+
+    def test_interior_not_aux(self):
+        layout = LayerLayout(index=0, shape=(8, 8))
+        layout.paths.append([(0, 0), (0, 1), (0, 2)])
+        program, hardware = self._program_with_layout(layout)
+        ok, errors = validate_program(program, hardware)
+        assert any("not aux" in e for e in errors)
+
+    def test_assert_valid_raises(self):
+        layout = LayerLayout(index=0, shape=(3, 3))
+        program, hardware = self._program_with_layout(layout)
+        with pytest.raises(ValidationError):
+            assert_valid(program, hardware)

@@ -1,0 +1,108 @@
+"""Tests for the experiment runners (small sizes to stay fast)."""
+
+import pytest
+
+from repro.eval.experiments import (
+    FIG13_SHAPES,
+    PAPER_TABLE2,
+    TABLE_BENCHMARKS,
+    compare_one,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_table1,
+    run_table2,
+)
+from repro.hardware.resource_state import FOUR_STAR
+
+
+class TestTable1:
+    def test_full_grid(self):
+        rows = run_table1()
+        assert len(rows) == len(TABLE_BENCHMARKS)
+
+    def test_matches_paper_exactly(self):
+        for name, areas in run_table1():
+            key_found = False
+            for (bench, n), _ in PAPER_TABLE2.items():
+                if bench == name and n == areas.num_qubits:
+                    key_found = True
+            assert key_found
+        # spot check paper values
+        by_key = {(n, a.num_qubits): a for n, a in run_table1()}
+        assert by_key[("QFT", 16)].cluster_side == 7
+        assert by_key[("BV", 100)].physical_side == 43
+
+
+class TestCompareOne:
+    def test_improvements_positive(self):
+        row = compare_one("BV", 16)
+        assert row.depth_improvement > 1
+        assert row.fusion_improvement > 1
+
+    def test_label(self):
+        assert compare_one("BV", 16).label == "BV-16"
+
+    def test_resource_state_forwarded(self):
+        row = compare_one("BV", 16, resource_state=FOUR_STAR)
+        assert row.baseline.areas.physical_area < 256
+
+    def test_area_override(self):
+        row = compare_one("BV", 16, area=100)
+        assert row.oneq.layouts[0].shape == (10, 10)
+
+
+class TestTable2:
+    def test_subset_run(self):
+        rows = run_table2(benchmarks=[("BV", 16), ("QAOA", 16)])
+        assert [r.label for r in rows] == ["BV-16", "QAOA-16"]
+
+    def test_orders_of_magnitude(self):
+        """The paper's headline: improvements of orders of magnitude."""
+        rows = run_table2(benchmarks=[("BV", 16), ("RCA", 16)])
+        for row in rows:
+            assert row.depth_improvement > 10
+            assert row.fusion_improvement > 10
+
+    def test_bv_best(self):
+        rows = run_table2(
+            benchmarks=[("QAOA", 16), ("BV", 16)]
+        )
+        by_name = {r.name: r for r in rows}
+        assert (
+            by_name["BV"].fusion_improvement
+            > by_name["QAOA"].fusion_improvement
+        )
+
+
+class TestFigures:
+    def test_fig12_all_resource_states(self):
+        results = run_fig12(num_qubits=8, benchmarks=("BV",))
+        assert set(results) == {"3-line", "4-line", "4-star", "4-ring"}
+        for rows in results.values():
+            assert rows[0].fusion_improvement > 1
+
+    def test_fig13_shapes(self):
+        results = run_fig13(num_qubits=8, benchmarks=("BV",))
+        assert set(results["BV"].keys()) == {r for r, _ in FIG13_SHAPES}
+
+    def test_fig14_extended_layer(self):
+        prog = run_fig14(num_qubits=8, side=9, extension=3)
+        assert prog.extension == 3
+        assert prog.layouts[0].shape == (9, 27)
+
+    def test_fig15_area_sweep(self):
+        results = run_fig15(
+            num_qubits=8, benchmarks=("BV",), areas=(64, 144, 256)
+        )
+        per_area = results["BV"]
+        assert set(per_area) == {64, 144, 256}
+
+    def test_fig15_depth_monotone_trend(self):
+        """Fig. 15 shape: depth does not increase with physical area."""
+        results = run_fig15(
+            num_qubits=16, benchmarks=("QAOA",), areas=(100, 256, 600)
+        )
+        per_area = results["QAOA"]
+        assert per_area[100].physical_depth >= per_area[600].physical_depth

@@ -1,0 +1,65 @@
+"""Golden-range regression tests for headline metrics.
+
+The compiler is deterministic, but exact counts move with any heuristic
+tweak; these tests pin *ranges* wide enough to survive small heuristic
+changes while catching structural regressions (an order-of-magnitude
+blowup in fusions, shuffle explosion, depth regressions).
+
+Measured values at time of writing (see EXPERIMENTS.md):
+  BV-16:   depth 2,   fusions 38
+  QAOA-16: depth ~38, fusions ~2300
+  QFT-16:  depth ~76, fusions ~6000
+"""
+
+import pytest
+
+from repro.eval import compare_one
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {
+        name: compare_one(name, 16) for name in ("QFT", "QAOA", "RCA", "BV")
+    }
+
+
+class TestGoldenRanges:
+    def test_bv16(self, rows):
+        oneq = rows["BV"].oneq
+        assert 1 <= oneq.physical_depth <= 4
+        assert 20 <= oneq.num_fusions <= 120
+
+    def test_qaoa16(self, rows):
+        oneq = rows["QAOA"].oneq
+        assert 15 <= oneq.physical_depth <= 90
+        assert 800 <= oneq.num_fusions <= 6000
+
+    def test_rca16(self, rows):
+        oneq = rows["RCA"].oneq
+        assert 15 <= oneq.physical_depth <= 80
+        assert 800 <= oneq.num_fusions <= 6000
+
+    def test_qft16(self, rows):
+        oneq = rows["QFT"].oneq
+        assert 40 <= oneq.physical_depth <= 180
+        assert 2500 <= oneq.num_fusions <= 15000
+
+    def test_improvement_orders_of_magnitude(self, rows):
+        for name, row in rows.items():
+            assert row.depth_improvement > 20, name
+            assert row.fusion_improvement > 50, name
+
+    def test_baseline_depths_stable(self, rows):
+        assert 2000 <= rows["QFT"].baseline.depth <= 6000
+        assert 150 <= rows["BV"].baseline.depth <= 600
+
+    def test_shuffle_not_dominating_bv(self, rows):
+        """BV is one partition: shuffling must stay negligible."""
+        t = rows["BV"].oneq.fusions
+        assert t.shuffling <= t.edge + t.synthesis
+
+    def test_oneq_absolute_values_near_paper(self, rows):
+        """Sanity: our compiler lands in the paper's output range."""
+        assert rows["QFT"].oneq.physical_depth <= 2 * 83   # paper: 83
+        assert rows["QAOA"].oneq.num_fusions <= 3 * 2578   # paper: 2578
+        assert rows["BV"].oneq.num_fusions <= 3 * 63       # paper: 63

@@ -1,0 +1,121 @@
+"""Tests for the space-time coupling graph and hardware config."""
+
+import pytest
+
+from repro.hardware.coupling import (
+    HardwareConfig,
+    SpaceTimeCouplingGraph,
+    extended_to_physical,
+)
+from repro.hardware.resource_state import FOUR_STAR, THREE_LINE
+
+
+class TestHardwareConfig:
+    def test_physical_area(self):
+        assert HardwareConfig(rows=4, cols=5).physical_area == 20
+
+    def test_square(self):
+        cfg = HardwareConfig.square(7)
+        assert (cfg.rows, cfg.cols) == (7, 7)
+
+    def test_with_area_square(self):
+        cfg = HardwareConfig.with_area(256)
+        assert (cfg.rows, cfg.cols) == (16, 16)
+
+    def test_with_area_ratio(self):
+        cfg = HardwareConfig.with_area(256, ratio=1.5)
+        assert cfg.rows < cfg.cols
+        assert abs(cfg.physical_area - 256) <= 30
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(rows=0, cols=4)
+
+    def test_invalid_delay_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(rows=2, cols=2, max_delay=0)
+
+    def test_invalid_extension_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(rows=2, cols=2, extension=0)
+
+    def test_extended_shape(self):
+        cfg = HardwareConfig(rows=13, cols=13, extension=3)
+        assert cfg.extended_shape == (13, 39)
+
+    def test_default_resource_state(self):
+        assert HardwareConfig.square(4).resource_state is THREE_LINE
+
+    def test_custom_resource_state(self):
+        cfg = HardwareConfig.square(4, resource_state=FOUR_STAR)
+        assert cfg.resource_state is FOUR_STAR
+
+
+class TestSpaceTimeCouplingGraph:
+    def test_node_count(self):
+        g = SpaceTimeCouplingGraph(HardwareConfig(rows=3, cols=3), num_layers=2)
+        assert g.graph.number_of_nodes() == 18
+
+    def test_spatial_edges_within_layer(self):
+        g = SpaceTimeCouplingGraph(HardwareConfig(rows=2, cols=2), num_layers=1)
+        kinds = {d["kind"] for _, _, d in g.graph.edges(data=True)}
+        assert kinds == {"spatial"}
+        assert g.graph.number_of_edges() == 4
+
+    def test_temporal_edges_respect_delay(self):
+        cfg = HardwareConfig(rows=1, cols=1, max_delay=2)
+        g = SpaceTimeCouplingGraph(cfg, num_layers=4)
+        temporal = [
+            (u, v)
+            for u, v, d in g.graph.edges(data=True)
+            if d["kind"] == "temporal"
+        ]
+        assert ((0, 0, 0), (1, 0, 0)) in [tuple(sorted(e)) for e in temporal]
+        assert all(abs(u[0] - v[0]) <= 2 for u, v in temporal)
+
+    def test_neighbor_iterators(self):
+        cfg = HardwareConfig(rows=2, cols=2, max_delay=1)
+        g = SpaceTimeCouplingGraph(cfg, num_layers=2)
+        spatial = list(g.spatial_neighbors((0, 0, 0)))
+        temporal = list(g.temporal_neighbors((0, 0, 0)))
+        assert (0, 0, 1) in spatial and (0, 1, 0) in spatial
+        assert temporal == [(1, 0, 0)]
+
+    def test_max_active_couplings_bounded_by_photons(self):
+        """Sec 3.1 difference (1): only `size` couplings can activate."""
+        cfg = HardwareConfig(rows=5, cols=5, max_delay=3)
+        g = SpaceTimeCouplingGraph(cfg, num_layers=7)
+        assert g.max_active_couplings() == 3
+        # even though the coupling graph itself offers more supports
+        degree = g.graph.degree((3, 2, 2))
+        assert degree > g.max_active_couplings()
+
+    def test_invalid_layers_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceTimeCouplingGraph(HardwareConfig(rows=2, cols=2), num_layers=0)
+
+
+class TestExtendedToPhysical:
+    def test_first_sublayer_identity(self):
+        cfg = HardwareConfig(rows=4, cols=4, extension=3)
+        assert extended_to_physical((2, 1), cfg) == (0, (2, 1))
+
+    def test_second_sublayer_flipped(self):
+        """Fig. 5b: odd sub-layers are flipped horizontally."""
+        cfg = HardwareConfig(rows=4, cols=4, extension=3)
+        sub, coord = extended_to_physical((2, 4), cfg)
+        assert sub == 1
+        assert coord == (2, 3)  # first column of sublayer 1 = last physical
+
+    def test_third_sublayer_unflipped(self):
+        cfg = HardwareConfig(rows=4, cols=4, extension=3)
+        sub, coord = extended_to_physical((0, 8), cfg)
+        assert sub == 2
+        assert coord == (0, 0)
+
+    def test_boundary_continuity(self):
+        """Cells adjacent across a sub-layer boundary map to the same RSG."""
+        cfg = HardwareConfig(rows=4, cols=4, extension=2)
+        _, last_of_0 = extended_to_physical((1, 3), cfg)
+        _, first_of_1 = extended_to_physical((1, 4), cfg)
+        assert last_of_0 == first_of_1  # same RSG, consecutive cycles

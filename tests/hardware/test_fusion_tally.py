@@ -1,0 +1,51 @@
+"""Tests for fusion accounting."""
+
+import pytest
+
+from repro.hardware.fusion import FusionTally
+
+
+class TestFusionTally:
+    def test_total(self):
+        t = FusionTally(synthesis=2, edge=3, routing=4, shuffling=1)
+        assert t.total == 10
+
+    def test_photons(self):
+        t = FusionTally(edge=5)
+        assert t.photons_consumed_by_fusion == 10
+
+    def test_add(self):
+        t = FusionTally()
+        t.add("edge", 2)
+        t.add("routing")
+        assert t.edge == 2
+        assert t.routing == 1
+
+    def test_add_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fusion kind"):
+            FusionTally().add("teleport")
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FusionTally().add("edge", -1)
+
+    def test_merge(self):
+        a = FusionTally(synthesis=1, z_measurements=5, extra={"x": 1})
+        b = FusionTally(synthesis=2, shuffling=3, extra={"x": 2, "y": 1})
+        a.merge(b)
+        assert a.synthesis == 3
+        assert a.shuffling == 3
+        assert a.z_measurements == 5
+        assert a.extra == {"x": 3, "y": 1}
+
+    def test_as_dict(self):
+        d = FusionTally(edge=1, routing=2).as_dict()
+        assert d["total"] == 3
+        assert set(d) == {
+            "synthesis",
+            "edge",
+            "routing",
+            "shuffling",
+            "total",
+            "z_measurements",
+        }

@@ -1,0 +1,97 @@
+"""Tests for the photonic noise model and fidelity estimation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baseline import compile_baseline
+from repro.circuit import get_benchmark
+from repro.core import compile_circuit
+from repro.hardware import HardwareConfig
+from repro.hardware.noise import (
+    DEFAULT_NOISE,
+    NoiseModel,
+    baseline_log_fidelity,
+    expected_fusion_attempts,
+    fidelity_improvement_factor,
+    log_fidelity,
+    program_log_fidelity,
+)
+
+
+class TestNoiseModel:
+    def test_defaults_valid(self):
+        assert 0 < DEFAULT_NOISE.fusion_success <= 1
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(fusion_error=1.5)
+
+    def test_zero_success_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(fusion_success=0.0)
+
+
+class TestLogFidelity:
+    def test_no_events_perfect(self):
+        assert log_fidelity(0, 0, 0) == 0.0
+
+    def test_monotone_in_fusions(self):
+        a = log_fidelity(10, 0, 0)
+        b = log_fidelity(20, 0, 0)
+        assert b < a < 0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            log_fidelity(-1, 0, 0)
+
+    def test_matches_product_form(self):
+        model = NoiseModel(fusion_error=0.1, cycle_loss=0.0, measurement_error=0.0)
+        lf = log_fidelity(5, 0, 0, model)
+        assert math.exp(lf) == pytest.approx(0.9**5)
+
+    @given(
+        st.integers(0, 1000), st.integers(0, 1000), st.integers(0, 1000)
+    )
+    def test_always_nonpositive(self, f, m, c):
+        assert log_fidelity(f, m, c) <= 0.0
+
+
+class TestExpectedAttempts:
+    def test_boosted_fusion(self):
+        assert expected_fusion_attempts(75) == pytest.approx(100.0)
+
+    def test_bare_fusion(self):
+        model = NoiseModel(fusion_success=0.5)
+        assert expected_fusion_attempts(10, model) == pytest.approx(20.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            expected_fusion_attempts(-1)
+
+
+class TestProgramFidelity:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        circuit = get_benchmark("BV", 16)
+        program = compile_circuit(circuit, HardwareConfig.square(16))
+        baseline = compile_baseline(circuit, "BV")
+        return program, baseline
+
+    def test_oneq_higher_fidelity_than_baseline(self, compiled):
+        """Fewer fusions -> higher overall fidelity (paper Sec. 2.1)."""
+        program, baseline = compiled
+        assert program_log_fidelity(program) > baseline_log_fidelity(baseline)
+
+    def test_improvement_factor_large(self, compiled):
+        program, baseline = compiled
+        factor = fidelity_improvement_factor(program, baseline)
+        assert factor > 100  # BV: ~2000x fewer fusions
+
+    def test_noisier_model_lowers_fidelity(self, compiled):
+        program, _ = compiled
+        clean = program_log_fidelity(program, NoiseModel(fusion_error=0.001))
+        dirty = program_log_fidelity(program, NoiseModel(fusion_error=0.05))
+        assert dirty < clean

@@ -1,0 +1,105 @@
+"""Tests for the resource-state zoo and synthesis accounting."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.resource_state import (
+    FOUR_LINE,
+    FOUR_RING,
+    FOUR_STAR,
+    RESOURCE_STATES,
+    THREE_LINE,
+    get_resource_state,
+)
+
+ALL = [THREE_LINE, FOUR_LINE, FOUR_STAR, FOUR_RING]
+
+
+class TestShapes:
+    def test_registry_complete(self):
+        assert set(RESOURCE_STATES) == {"3-line", "4-line", "4-star", "4-ring"}
+
+    @pytest.mark.parametrize("rst", ALL, ids=lambda r: r.name)
+    def test_graph_size(self, rst):
+        g = rst.graph()
+        assert g.number_of_nodes() == rst.size
+
+    def test_max_degrees(self):
+        assert THREE_LINE.max_degree == 2
+        assert FOUR_LINE.max_degree == 2
+        assert FOUR_STAR.max_degree == 3
+        assert FOUR_RING.max_degree == 2
+
+    def test_shapes(self):
+        assert nx.is_isomorphic(THREE_LINE.graph(), nx.path_graph(3))
+        assert nx.is_isomorphic(FOUR_STAR.graph(), nx.star_graph(3))
+        assert nx.is_isomorphic(FOUR_RING.graph(), nx.cycle_graph(4))
+
+    def test_lookup(self):
+        assert get_resource_state("3-line") is THREE_LINE
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(ValueError, match="unknown resource state"):
+            get_resource_state("5-tree")
+
+
+class TestStatesForDegree:
+    def test_fits_single_state(self):
+        assert THREE_LINE.states_for_degree(2) == 1
+        assert FOUR_STAR.states_for_degree(3) == 1
+
+    def test_three_line_paper_formula(self):
+        """Paper Fig. 8: degree-n node needs n-1 three-qubit states."""
+        for d in range(3, 12):
+            assert THREE_LINE.states_for_degree(d) == d - 1
+
+    def test_four_star_paper_values(self):
+        """Matches the paper's n//m+1 on evaluation-range degrees."""
+        assert FOUR_STAR.states_for_degree(4) == 4 // 3 + 1
+        assert FOUR_STAR.states_for_degree(6) == 6 // 3 + 1
+        assert FOUR_STAR.states_for_degree(9) == 9 // 3 + 1
+
+    def test_zero_degree(self):
+        assert THREE_LINE.states_for_degree(0) == 1
+
+    @pytest.mark.parametrize("rst", ALL, ids=lambda r: r.name)
+    @given(degree=st.integers(1, 40))
+    def test_port_capacity_sufficient(self, rst, degree):
+        """k states expose m + (k-1)(m-1) ports >= degree."""
+        k = rst.states_for_degree(degree)
+        m = rst.max_degree
+        ports = m + (k - 1) * (m - 1)
+        assert ports >= min(degree, m) if k == 1 else ports >= degree
+
+    @pytest.mark.parametrize("rst", ALL, ids=lambda r: r.name)
+    @given(degree=st.integers(1, 40))
+    def test_monotone_in_degree(self, rst, degree):
+        assert rst.states_for_degree(degree + 1) >= rst.states_for_degree(degree)
+
+
+class TestStatesForLine:
+    def test_short_lines(self):
+        assert THREE_LINE.states_for_line(1) == 1
+        assert THREE_LINE.states_for_line(3) == 1
+
+    def test_three_line_growth(self):
+        """k states of size 3 give a (k+2)-node line."""
+        assert THREE_LINE.states_for_line(4) == 2
+        assert THREE_LINE.states_for_line(10) == 8
+
+    def test_four_line_growth(self):
+        assert FOUR_LINE.states_for_line(4) == 1
+        assert FOUR_LINE.states_for_line(6) == 2
+        assert FOUR_LINE.states_for_line(10) == 4
+
+    @pytest.mark.parametrize("rst", ALL, ids=lambda r: r.name)
+    @given(length=st.integers(2, 50))
+    def test_line_capacity(self, rst, length):
+        k = rst.states_for_line(length)
+        assert k * (rst.size - 2) + 2 >= length
+
+    def test_fusion_capacity_is_size(self):
+        for rst in ALL:
+            assert rst.fusion_capacity() == rst.size

@@ -1,0 +1,206 @@
+"""Tests for graph states and the fusion rule (verified numerically)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mbqc.graph_state import (
+    disjoint_union,
+    fuse,
+    graph_state_vector,
+    grid_graph,
+    linear_graph,
+    max_degree,
+    neighborhood,
+    relabeled,
+    ring_graph,
+    star_graph,
+    z_measure,
+)
+
+
+def _pauli_op(n, which, qubit):
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    z = np.diag([1.0, -1.0]).astype(complex)
+    m = {"x": x, "z": z}[which]
+    op = np.ones((1, 1), dtype=complex)
+    for q in range(n):
+        op = np.kron(m if q == qubit else np.eye(2, dtype=complex), op)
+    return op
+
+
+def fusion_reference(g, c, d):
+    """Dense-simulation reference: project XZ/ZX (+1,+1) and factor out."""
+    order = tuple(sorted(g.nodes()))
+    psi = graph_state_vector(g, order=order)
+    n = len(order)
+    ic, id_ = order.index(c), order.index(d)
+    p1 = (np.eye(2**n) + _pauli_op(n, "x", ic) @ _pauli_op(n, "z", id_)) / 2
+    p2 = (np.eye(2**n) + _pauli_op(n, "z", ic) @ _pauli_op(n, "x", id_)) / 2
+    phi = p2 @ (p1 @ psi)
+    phi = phi / np.linalg.norm(phi)
+    keep = [i for i in range(n) if i not in (ic, id_)]
+    tensor = phi.reshape((2,) * n)
+    perm = [n - 1 - i for i in list(reversed(keep)) + [id_, ic]]
+    t = np.transpose(tensor, axes=perm).reshape(2 ** len(keep), 4)
+    u, s, _ = np.linalg.svd(t)
+    assert s[1] < 1e-9, "post-fusion state not factorized"
+    return u[:, 0], [order[i] for i in keep]
+
+
+class TestGraphBuilders:
+    def test_linear(self):
+        g = linear_graph(4)
+        assert g.number_of_edges() == 3
+        assert max_degree(g) == 2
+
+    def test_star(self):
+        g = star_graph(5)
+        assert max_degree(g) == 5
+
+    def test_ring(self):
+        g = ring_graph(6)
+        assert all(d == 2 for _, d in g.degree())
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.number_of_nodes() == 12
+        assert max_degree(g) == 4
+
+    def test_max_degree_empty(self):
+        assert max_degree(nx.Graph()) == 0
+
+    def test_neighborhood(self):
+        g = linear_graph(5)
+        assert neighborhood(g, [2]) == {1, 3}
+        assert neighborhood(g, [1, 2]) == {0, 3}
+
+
+class TestFusionRule:
+    def test_line_line_merge(self):
+        """Paper Fig. 2: ABC + DEF fused at (C, D) gives line A-B-E-F."""
+        g = disjoint_union(linear_graph(3), relabeled(linear_graph(3), 10))
+        merged = fuse(g, 2, 10)
+        expected = {frozenset((0, 1)), frozenset((1, 11)), frozenset((11, 12))}
+        assert {frozenset(e) for e in merged.edges()} == expected
+
+    def test_photon_loss(self):
+        g = disjoint_union(linear_graph(3), relabeled(linear_graph(3), 10))
+        merged = fuse(g, 2, 10)
+        assert merged.number_of_nodes() == g.number_of_nodes() - 2
+
+    def test_self_fusion_rejected(self):
+        with pytest.raises(ValueError):
+            fuse(linear_graph(3), 1, 1)
+
+    def test_adjacent_fusion_rejected(self):
+        with pytest.raises(ValueError):
+            fuse(linear_graph(3), 0, 1)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            fuse(linear_graph(3), 0, 99)
+
+    def test_degree_increment_pattern(self):
+        """Fig. 7a: fusing a leaf with a 2-degree node raises the degree."""
+        star = star_graph(2)  # center 0, leaves 1, 2
+        line = relabeled(linear_graph(3), 10)
+        g = disjoint_union(star, line)
+        merged = fuse(g, 1, 11)  # leaf 1 with middle qubit 11
+        assert merged.degree(0) == 1 + 2  # lost leaf, gained two
+
+    def test_graph_connection_pattern(self):
+        """Fig. 7c: fusing two leaves adds one edge between their owners."""
+        a = linear_graph(2)  # 0-1
+        b = relabeled(linear_graph(2), 10)  # 10-11
+        merged = fuse(disjoint_union(a, b), 1, 10)
+        assert {frozenset(e) for e in merged.edges()} == {frozenset((0, 11))}
+
+    @pytest.mark.parametrize(
+        "g1,g2,c,d",
+        [
+            (linear_graph(3), linear_graph(3), 2, 0),
+            (linear_graph(2), linear_graph(2), 1, 0),
+            (star_graph(3), linear_graph(3), 1, 1),
+            (ring_graph(4), linear_graph(3), 0, 0),
+            (star_graph(3), star_graph(3), 1, 0),
+        ],
+    )
+    def test_against_dense_simulation(self, g1, g2, c, d):
+        """The bipartite-toggle rule equals the physical XZ/ZX projection."""
+        g = disjoint_union(g1, relabeled(g2, 100))
+        rest, keep_order = fusion_reference(g, c, d + 100)
+        merged = fuse(g, c, d + 100)
+        target = graph_state_vector(merged, order=tuple(keep_order))
+        assert abs(np.vdot(rest, target)) == pytest.approx(1.0, abs=1e-8)
+
+    def test_existing_edge_toggles(self):
+        """Fusing onto an existing edge erases it (CZ involution)."""
+        # triangle 0-1-2 plus pendant pair 3-4; fuse 2 with 3:
+        g = nx.Graph([(0, 1), (1, 2), (2, 0), (3, 4)])
+        merged = fuse(g, 2, 3)
+        # N(2)={0,1}, N(3)={4}: toggles (0,4),(1,4); edge 0-1 remains
+        assert {frozenset(e) for e in merged.edges()} == {
+            frozenset((0, 1)),
+            frozenset((0, 4)),
+            frozenset((1, 4)),
+        }
+
+
+class TestZMeasure:
+    def test_removes_node(self):
+        g = z_measure(linear_graph(3), 1)
+        assert g.number_of_edges() == 0
+        assert g.number_of_nodes() == 2
+
+    def test_missing_node_rejected(self):
+        with pytest.raises(ValueError):
+            z_measure(linear_graph(2), 7)
+
+    def test_ring_tailored_to_line(self):
+        """Paper Sec. 5: removing one ring qubit leaves a line."""
+        g = z_measure(ring_graph(4), 0)
+        degrees = sorted(d for _, d in g.degree())
+        assert degrees == [1, 1, 2]
+
+
+class TestGraphStateVector:
+    def test_single_plus(self):
+        g = nx.Graph()
+        g.add_node(0)
+        state = graph_state_vector(g)
+        assert np.allclose(state, [1 / np.sqrt(2)] * 2)
+
+    def test_two_qubit_graph_state(self):
+        state = graph_state_vector(linear_graph(2))
+        expected = np.array([1, 1, 1, -1], dtype=complex) / 2
+        assert np.allclose(state, expected)
+
+    def test_input_state_override(self):
+        g = nx.Graph()
+        g.add_node(0)
+        state = graph_state_vector(g, input_states={0: [1, 0]})
+        assert np.allclose(state, [1, 0])
+
+    def test_order_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            graph_state_vector(linear_graph(2), order=(0, 5))
+
+    @given(st.integers(2, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_normalized(self, n):
+        state = graph_state_vector(linear_graph(n))
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+
+class TestDisjointUnion:
+    def test_shared_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            disjoint_union(linear_graph(2), linear_graph(3))
+
+    def test_preserves_all(self):
+        g = disjoint_union(linear_graph(2), relabeled(ring_graph(3), 10))
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 4

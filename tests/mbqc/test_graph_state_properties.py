@@ -1,0 +1,93 @@
+"""Hypothesis property tests for graph states and fusion."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mbqc.graph_state import (
+    disjoint_union,
+    fuse,
+    max_degree,
+    relabeled,
+    z_measure,
+)
+
+
+@st.composite
+def two_graphs_with_fusion_qubits(draw):
+    n1 = draw(st.integers(2, 8))
+    n2 = draw(st.integers(2, 8))
+    p = draw(st.floats(0.2, 0.8))
+    seed = draw(st.integers(0, 9999))
+    g1 = nx.gnp_random_graph(n1, p, seed=seed)
+    g2 = nx.gnp_random_graph(n2, p, seed=seed + 1)
+    c = draw(st.integers(0, n1 - 1))
+    d = draw(st.integers(0, n2 - 1))
+    return g1, g2, c, d
+
+
+class TestFusionProperties:
+    @given(two_graphs_with_fusion_qubits())
+    @settings(max_examples=40, deadline=None)
+    def test_fusion_loses_exactly_two_photons(self, case):
+        g1, g2, c, d = case
+        g = disjoint_union(g1, relabeled(g2, 100))
+        merged = fuse(g, c, d + 100)
+        assert merged.number_of_nodes() == g.number_of_nodes() - 2
+        assert c not in merged
+        assert d + 100 not in merged
+
+    @given(two_graphs_with_fusion_qubits())
+    @settings(max_examples=40, deadline=None)
+    def test_leaf_fusion_degree_transfer(self, case):
+        """Fusing a leaf c with d hands N(d) to c's owner."""
+        g1, g2, _, d = case
+        # make c a fresh leaf attached to node 0
+        g1 = g1.copy()
+        leaf = max(g1.nodes()) + 1
+        g1.add_edge(0, leaf)
+        g = disjoint_union(g1, relabeled(g2, 100))
+        before = g.degree(0)
+        nd = g.degree(d + 100)
+        merged = fuse(g, leaf, d + 100)
+        # node 0 loses the leaf and toggles edges to N(d): if none of
+        # N(d) was already adjacent, it gains exactly nd edges
+        expected_new = {
+            w for w in g.neighbors(d + 100) if w != 0 and not g.has_edge(0, w)
+        }
+        expected_removed = {
+            w for w in g.neighbors(d + 100) if w != 0 and g.has_edge(0, w)
+        }
+        assert merged.degree(0) == (
+            before - 1 + len(expected_new) - len(expected_removed)
+        )
+
+    @given(two_graphs_with_fusion_qubits())
+    @settings(max_examples=30, deadline=None)
+    def test_fusion_commutes_with_relabeling(self, case):
+        g1, g2, c, d = case
+        g = disjoint_union(g1, relabeled(g2, 100))
+        merged = fuse(g, c, d + 100)
+        shifted = nx.relabel_nodes(g, {v: v + 1000 for v in g.nodes()})
+        merged_shifted = fuse(shifted, c + 1000, d + 100 + 1000)
+        assert nx.is_isomorphic(merged, merged_shifted)
+
+    @given(st.integers(3, 10), st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_z_measure_only_local_damage(self, n, seed):
+        g = nx.gnp_random_graph(n, 0.4, seed=seed)
+        node = seed % n
+        removed = z_measure(g, node)
+        # all other adjacencies untouched
+        for u, v in g.edges():
+            if node not in (u, v):
+                assert removed.has_edge(u, v)
+        assert removed.number_of_nodes() == n - 1
+
+    @given(st.integers(2, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_max_degree_matches_networkx(self, n):
+        g = nx.gnp_random_graph(n, 0.5, seed=n)
+        expected = max((d for _, d in g.degree()), default=0)
+        assert max_degree(g) == expected

@@ -1,0 +1,101 @@
+"""Tests for the MeasurementPattern data model."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.mbqc.pattern import MeasurementPattern
+
+
+def make_pattern(**overrides):
+    graph = nx.path_graph(3)
+    defaults = dict(
+        graph=graph,
+        inputs=(0,),
+        outputs=(2,),
+        angles={0: 0.0, 1: math.pi / 4},
+        x_deps={1: frozenset({0})},
+        z_deps={},
+        sequence=(0, 1),
+    )
+    defaults.update(overrides)
+    return MeasurementPattern(**defaults)
+
+
+class TestValidation:
+    def test_valid(self):
+        p = make_pattern()
+        assert p.num_nodes == 3
+        assert p.num_edges == 2
+
+    def test_missing_angle_rejected(self):
+        with pytest.raises(ValueError, match="angles"):
+            make_pattern(angles={0: 0.0})
+
+    def test_extra_angle_rejected(self):
+        with pytest.raises(ValueError, match="angles"):
+            make_pattern(angles={0: 0.0, 1: 0.0, 2: 0.0})
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(ValueError, match="inputs"):
+            make_pattern(inputs=(9,))
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(ValueError, match="outputs"):
+            make_pattern(outputs=(9,), angles={0: 0.0, 1: 0.0, 2: 0.0})
+
+    def test_dep_on_output_rejected(self):
+        with pytest.raises(ValueError, match="measured"):
+            make_pattern(x_deps={1: frozenset({2})})
+
+    def test_bad_sequence_rejected(self):
+        with pytest.raises(ValueError, match="sequence"):
+            make_pattern(sequence=(0,))
+
+
+class TestAdaptivity:
+    def test_pauli_angle_not_adaptive(self):
+        p = make_pattern(angles={0: 0.0, 1: math.pi / 2}, x_deps={1: frozenset({0})})
+        assert not p.is_adaptive(1)
+
+    def test_non_pauli_with_dep_adaptive(self):
+        p = make_pattern()
+        assert p.is_adaptive(1)
+
+    def test_non_pauli_without_dep_not_adaptive(self):
+        p = make_pattern(x_deps={})
+        assert not p.is_adaptive(1)
+
+    def test_output_never_adaptive(self):
+        p = make_pattern()
+        assert not p.is_adaptive(2)
+
+    def test_effective_x_deps_filtered(self):
+        p = make_pattern(angles={0: 0.0, 1: math.pi}, x_deps={1: frozenset({0})})
+        assert p.effective_x_deps(1) == frozenset()
+
+    def test_effective_x_deps_kept(self):
+        p = make_pattern()
+        assert p.effective_x_deps(1) == frozenset({0})
+
+
+class TestOrdering:
+    def test_measurement_order_uses_sequence(self):
+        p = make_pattern()
+        assert p.measurement_order() == (0, 1)
+
+    def test_measurement_order_topological_fallback(self):
+        p = make_pattern(sequence=())
+        order = p.measurement_order()
+        assert order.index(0) < order.index(1)
+
+    def test_dependency_dag_edges(self):
+        p = make_pattern()
+        dag = p.dependency_dag()
+        assert dag.has_edge(0, 1)
+
+    def test_summary_mentions_counts(self):
+        text = make_pattern().summary()
+        assert "nodes=3" in text
+        assert "adaptive=1" in text

@@ -1,0 +1,224 @@
+"""Tests for the CHP stabilizer simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mbqc.graph_state import (
+    disjoint_union,
+    fuse,
+    linear_graph,
+    relabeled,
+    ring_graph,
+    star_graph,
+)
+from repro.sim.stabilizer import PauliString, StabilizerState
+
+
+class TestPauliString:
+    def test_from_ops(self):
+        p = PauliString.from_ops(3, {0: "x", 2: "z"})
+        assert p.x[0] == 1 and p.z[2] == 1
+        assert p.z[0] == 0
+
+    def test_y_sets_both(self):
+        p = PauliString.from_ops(2, {1: "y"})
+        assert p.x[1] == 1 and p.z[1] == 1
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString.from_ops(1, {0: "w"})
+
+    def test_str(self):
+        p = PauliString.from_ops(3, {0: "x", 1: "z"}, sign=1)
+        assert str(p) == "-X0*Z1"
+
+
+class TestBasics:
+    def test_initial_zero_measurement(self):
+        s = StabilizerState(3)
+        assert s.measure_z(1) == 0
+
+    def test_x_flips(self):
+        s = StabilizerState(1)
+        s.x_gate(0)
+        assert s.measure_z(0) == 1
+
+    def test_h_randomizes(self):
+        s = StabilizerState(1, seed=0)
+        s.h(0)
+        outcomes = set()
+        for force in (0, 1):
+            t = s.copy()
+            outcomes.add(t.measure_z(0, force=force))
+        assert outcomes == {0, 1}
+
+    def test_bell_correlation(self):
+        for force in (0, 1):
+            s = StabilizerState(2)
+            s.h(0)
+            s.cnot(0, 1)
+            assert s.measure_z(0, force=force) == s.measure_z(1)
+
+    def test_ghz_correlation(self):
+        s = StabilizerState(3)
+        s.h(0)
+        s.cnot(0, 1)
+        s.cnot(1, 2)
+        m = s.measure_z(0, force=1)
+        assert s.measure_z(1) == m
+        assert s.measure_z(2) == m
+
+    def test_forced_impossible_outcome_rejected(self):
+        s = StabilizerState(1)
+        with pytest.raises(RuntimeError):
+            s.measure_z(0, force=1)
+
+    def test_s_gate_phase(self):
+        # S^2 = Z: |+> -> S S |+> = |->, so X measurement gives -1
+        s = StabilizerState(1)
+        s.h(0)
+        s.s(0)
+        s.s(0)
+        m = s.measure_pauli(PauliString.from_ops(1, {0: "x"}))
+        assert m == 1
+
+    def test_cz_creates_graph_state(self):
+        s = StabilizerState(2)
+        s.h(0)
+        s.h(1)
+        s.cz(0, 1)
+        # stabilizers X0 Z1 and Z0 X1 have value +1
+        assert s.measure_pauli(PauliString.from_ops(2, {0: "x", 1: "z"})) == 0
+        assert s.measure_pauli(PauliString.from_ops(2, {0: "z", 1: "x"})) == 0
+
+
+class TestGraphStates:
+    @pytest.mark.parametrize("graph", [linear_graph(4), star_graph(3), ring_graph(5)])
+    def test_graph_stabilizers_plus_one(self, graph):
+        """Every graph-state stabilizer X_i prod Z_n(i) measures +1."""
+        state, index = StabilizerState.graph_state(graph)
+        for node in graph.nodes():
+            ops = {index[node]: "x"}
+            for nbr in graph.neighbors(node):
+                ops[index[nbr]] = "z"
+            assert state.measure_pauli(PauliString.from_ops(state.n, ops)) == 0
+
+    def test_canonical_equality_reflexive(self):
+        a, _ = StabilizerState.graph_state(linear_graph(5))
+        b, _ = StabilizerState.graph_state(linear_graph(5))
+        assert a.equals(b)
+
+    def test_canonical_inequality(self):
+        a, _ = StabilizerState.graph_state(linear_graph(4))
+        b, _ = StabilizerState.graph_state(star_graph(3))
+        assert not a.equals(b)
+
+    def test_matches_dense_statevector(self):
+        from repro.mbqc.graph_state import graph_state_vector
+
+        graph = star_graph(3)
+        psi = graph_state_vector(graph)
+        state, index = StabilizerState.graph_state(graph)
+        # verify each canonical stabilizer has +1 expectation in psi
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        z = np.diag([1.0, -1.0]).astype(complex)
+        for node in graph.nodes():
+            op = np.ones((1, 1), dtype=complex)
+            for q in sorted(graph.nodes()):
+                if q == node:
+                    m = x
+                elif graph.has_edge(q, node):
+                    m = z
+                else:
+                    m = np.eye(2, dtype=complex)
+                op = np.kron(m, op)
+            assert np.vdot(psi, op @ psi).real == pytest.approx(1.0)
+
+
+class TestFusionAtScale:
+    @pytest.mark.parametrize(
+        "g1,g2,c,d",
+        [
+            (linear_graph(3), linear_graph(3), 2, 0),
+            (star_graph(4), linear_graph(3), 1, 1),
+            (ring_graph(5), linear_graph(4), 0, 0),
+            (linear_graph(12), star_graph(6), 11, 2),
+            (ring_graph(8), ring_graph(8), 3, 5),
+        ],
+    )
+    def test_fusion_rule_stabilizer_check(self, g1, g2, c, d):
+        """XZ/ZX fusion (+1,+1 branch) equals the graph-merge rule."""
+        g = disjoint_union(g1, relabeled(g2, 100))
+        order = sorted(g.nodes())
+        state, index = StabilizerState.graph_state(g, order=order)
+        ic, id_ = index[c], index[d + 100]
+        state.measure_pauli(
+            PauliString.from_ops(state.n, {ic: "x", id_: "z"}), force=0
+        )
+        state.measure_pauli(
+            PauliString.from_ops(state.n, {ic: "z", id_: "x"}), force=0
+        )
+        rest = state.discard([ic, id_])
+        merged = fuse(g, c, d + 100)
+        korder = [v for v in order if v not in (c, d + 100)]
+        target, _ = StabilizerState.graph_state(merged, order=korder)
+        assert rest.canonical_stabilizers() == target.canonical_stabilizers()
+
+    def test_discard_entangled_rejected(self):
+        state, _ = StabilizerState.graph_state(linear_graph(3))
+        with pytest.raises(ValueError):
+            state.discard([1])  # middle qubit is entangled
+
+    def test_discard_product_qubit(self):
+        s = StabilizerState(3)
+        s.h(0)
+        s.cnot(0, 1)
+        rest = s.discard([2])
+        assert rest.n == 2
+
+
+class TestRandomCliffordAgainstDense:
+    @given(st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_random_clifford_circuit_outcomes(self, seed):
+        """Forced-outcome Z measurements agree with dense amplitudes."""
+        import random
+
+        from repro.circuit import Circuit
+        from repro.sim.statevector import simulate
+
+        rng = random.Random(seed)
+        n = 3
+        circuit = Circuit(n)
+        tableau = StabilizerState(n)
+        for _ in range(10):
+            choice = rng.choice(["h", "s", "x", "z", "cnot", "cz"])
+            if choice in ("h", "s", "x", "z"):
+                q = rng.randrange(n)
+                circuit.add({"h": "h", "s": "s", "x": "x", "z": "z"}[choice], q)
+                getattr(
+                    tableau,
+                    {"h": "h", "s": "s", "x": "x_gate", "z": "z_gate"}[choice],
+                )(q)
+            else:
+                a, b = rng.sample(range(n), 2)
+                if choice == "cnot":
+                    circuit.cx(a, b)
+                    tableau.cnot(a, b)
+                else:
+                    circuit.cz(a, b)
+                    tableau.cz(a, b)
+        psi = simulate(circuit)
+        probs = np.abs(psi) ** 2
+        qubit = rng.randrange(n)
+        mask = (np.arange(len(probs)) >> qubit) & 1
+        p1 = float(probs[mask == 1].sum())
+        if p1 > 1e-9 and p1 < 1 - 1e-9:
+            # random outcome: both forcings succeed
+            for force in (0, 1):
+                tableau.copy().measure_z(qubit, force=force)
+        else:
+            deterministic = tableau.copy().measure_z(qubit)
+            assert deterministic == (1 if p1 > 0.5 else 0)

@@ -1,0 +1,148 @@
+"""Tests for the dense statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.circuit.gates import Gate
+from repro.sim.statevector import (
+    Statevector,
+    basis_state_distribution,
+    circuit_unitary,
+    fidelity,
+    gate_matrix,
+    j_matrix,
+    simulate,
+    states_equal_up_to_phase,
+    unitaries_equal_up_to_phase,
+)
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize(
+        "name,qubits,params",
+        [
+            ("h", (0,), ()),
+            ("x", (0,), ()),
+            ("y", (0,), ()),
+            ("z", (0,), ()),
+            ("s", (0,), ()),
+            ("t", (0,), ()),
+            ("sx", (0,), ()),
+            ("rx", (0,), (0.7,)),
+            ("ry", (0,), (0.7,)),
+            ("rz", (0,), (0.7,)),
+            ("cz", (0, 1), ()),
+            ("cx", (0, 1), ()),
+            ("swap", (0, 1), ()),
+            ("cp", (0, 1), (0.3,)),
+            ("ccx", (0, 1, 2), ()),
+        ],
+    )
+    def test_unitarity(self, name, qubits, params):
+        m = gate_matrix(Gate(name, qubits, params))
+        assert np.allclose(m @ m.conj().T, np.eye(m.shape[0]), atol=1e-12)
+
+    def test_sdg_inverse_of_s(self):
+        s = gate_matrix(Gate("s", (0,)))
+        sdg = gate_matrix(Gate("sdg", (0,)))
+        assert np.allclose(s @ sdg, np.eye(2))
+
+    def test_tdg_inverse_of_t(self):
+        t = gate_matrix(Gate("t", (0,)))
+        tdg = gate_matrix(Gate("tdg", (0,)))
+        assert np.allclose(t @ tdg, np.eye(2))
+
+    def test_j_is_h_rz(self):
+        alpha = 0.9
+        j = j_matrix(alpha)
+        h = gate_matrix(Gate("h", (0,)))
+        rz = gate_matrix(Gate("rz", (0,), (alpha,)))
+        assert unitaries_equal_up_to_phase(j, h @ rz)
+
+    def test_j_zero_is_h(self):
+        assert unitaries_equal_up_to_phase(j_matrix(0.0), gate_matrix(Gate("h", (0,))))
+
+    def test_cx_action(self):
+        c = Circuit(2).x(0).cx(0, 1)
+        dist = basis_state_distribution(simulate(c))
+        assert dist == {3: pytest.approx(1.0)}
+
+    def test_cx_control_off(self):
+        c = Circuit(2).cx(0, 1)
+        dist = basis_state_distribution(simulate(c))
+        assert dist == {0: pytest.approx(1.0)}
+
+    def test_ccx_action(self):
+        c = Circuit(3).x(0).x(1).ccx(0, 1, 2)
+        dist = basis_state_distribution(simulate(c))
+        assert dist == {7: pytest.approx(1.0)}
+
+    def test_swap_action(self):
+        c = Circuit(2).x(0).swap(0, 1)
+        dist = basis_state_distribution(simulate(c))
+        assert dist == {2: pytest.approx(1.0)}
+
+
+class TestStatevector:
+    def test_initial_state(self):
+        sv = Statevector(2)
+        assert sv.data[0] == 1.0
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(2, np.ones(3))
+
+    def test_norm_preserved(self):
+        sv = Statevector(3)
+        for gate in Circuit(3).h(0).cx(0, 1).t(2).cz(1, 2):
+            sv.apply_gate(gate)
+        assert np.linalg.norm(sv.data) == pytest.approx(1.0)
+
+    def test_measure_probability(self):
+        sv = Statevector(1)
+        sv.apply_gate(Gate("h", (0,)))
+        assert sv.measure_probability(0, 0) == pytest.approx(0.5)
+        assert sv.measure_probability(0, 1) == pytest.approx(0.5)
+
+    def test_apply_matrix_on_middle_qubit(self):
+        sv = Statevector(3)
+        sv.apply_gate(Gate("x", (1,)))
+        assert basis_state_distribution(sv.data) == {2: pytest.approx(1.0)}
+
+
+class TestHelpers:
+    def test_bell_distribution(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        dist = basis_state_distribution(simulate(c))
+        assert set(dist) == {0, 3}
+        assert dist[0] == pytest.approx(0.5)
+
+    def test_states_equal_up_to_phase(self):
+        a = np.array([1, 0], dtype=complex)
+        assert states_equal_up_to_phase(a, np.exp(0.3j) * a)
+        assert not states_equal_up_to_phase(a, np.array([0, 1], dtype=complex))
+
+    def test_unitaries_equal_up_to_phase(self):
+        u = circuit_unitary(Circuit(1).h(0))
+        assert unitaries_equal_up_to_phase(u, np.exp(1j) * u)
+        v = circuit_unitary(Circuit(1).x(0))
+        assert not unitaries_equal_up_to_phase(u, v)
+
+    def test_fidelity_bounds(self):
+        a = simulate(Circuit(2).h(0))
+        b = simulate(Circuit(2).h(0).z(0))
+        f = fidelity(a, b)
+        assert 0.0 <= f <= 1.0
+
+    def test_circuit_unitary_identity(self):
+        u = circuit_unitary(Circuit(2))
+        assert np.allclose(u, np.eye(4))
+
+    def test_global_phase_gate_order_invariance(self):
+        # rz and p differ by a global phase only
+        a = circuit_unitary(Circuit(1).rz(0.4, 0))
+        b = circuit_unitary(Circuit(1).p(0.4, 0))
+        assert unitaries_equal_up_to_phase(a, b)

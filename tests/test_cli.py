@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile"])
+        assert args.benchmark == "QFT"
+        assert args.qubits == 16
+
+    def test_bad_resource_state_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "--resource-state", "5-blob"])
+
+
+class TestCommands:
+    def test_compile_benchmark(self, capsys):
+        assert main(["compile", "--benchmark", "BV", "--qubits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "depth=" in out and "fusions=" in out
+
+    def test_compile_with_layout(self, capsys):
+        main(["compile", "--benchmark", "BV", "--qubits", "8", "--layout", "1"])
+        out = capsys.readouterr().out
+        assert "layer 0" in out
+
+    def test_compile_custom_grid(self, capsys):
+        main(
+            [
+                "compile", "--benchmark", "BV", "--qubits", "8",
+                "--rows", "10", "--cols", "10", "--resource-state", "4-star",
+            ]
+        )
+        assert "depth=" in capsys.readouterr().out
+
+    def test_baseline(self, capsys):
+        assert main(["baseline", "--benchmark", "BV", "--qubits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster=" in out and "swaps=" in out
+
+    def test_export_stdout(self, capsys):
+        assert main(["export", "--benchmark", "BV", "--qubits", "6"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OPENQASM 2.0;")
+
+    def test_export_file_and_compile_qasm(self, tmp_path, capsys):
+        path = tmp_path / "bv.qasm"
+        main(["export", "--benchmark", "BV", "--qubits", "6", "--output", str(path)])
+        assert path.exists()
+        assert main(["compile", "--qasm", str(path), "--rows", "8", "--cols", "8"]) == 0
+        assert "depth=" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster area" in out
+        assert "43x43" in out
+
+    def test_table2_quick(self, capsys):
+        assert main(["table2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "BV-16" in out
+        assert "Improv." in out

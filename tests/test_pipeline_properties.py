@@ -1,0 +1,78 @@
+"""Property-based end-to-end pipeline tests.
+
+Random circuits, random hardware shapes: the compiler must always emit a
+hardware-valid program whose accounting is internally consistent, and
+the underlying pattern must stay semantically correct.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import OneQCompiler, OneQConfig
+from repro.core.validate import validate_program
+from repro.hardware import RESOURCE_STATES, HardwareConfig
+from repro.mbqc import circuit_to_pattern
+from repro.sim import simulate, simulate_pattern, states_equal_up_to_phase
+from tests.conftest import random_circuit
+
+
+@st.composite
+def pipeline_cases(draw):
+    num_qubits = draw(st.integers(2, 4))
+    num_gates = draw(st.integers(2, 14))
+    seed = draw(st.integers(0, 9999))
+    side = draw(st.integers(6, 12))
+    rst = draw(st.sampled_from(sorted(RESOURCE_STATES)))
+    extension = draw(st.integers(1, 2))
+    return num_qubits, num_gates, seed, side, rst, extension
+
+
+class TestPipelineProperties:
+    @given(pipeline_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_compile_always_valid(self, case):
+        num_qubits, num_gates, seed, side, rst_name, extension = case
+        circuit = random_circuit(num_qubits, num_gates, seed)
+        hardware = HardwareConfig(
+            rows=side,
+            cols=side,
+            resource_state=RESOURCE_STATES[rst_name],
+            extension=extension,
+        )
+        program = OneQCompiler(OneQConfig(hardware=hardware)).compile(circuit)
+
+        # hardware validity
+        ok, errors = validate_program(program, hardware)
+        assert ok, errors[:3]
+
+        # accounting consistency
+        t = program.fusions
+        assert program.num_fusions == (
+            t.synthesis + t.edge + t.routing + t.shuffling
+        )
+        assert program.physical_depth == (
+            program.mapping_layers * extension + program.shuffle_layers
+        )
+        assert program.mapping_layers == len(program.layouts)
+        assert t.z_measurements >= 0
+
+        # a fusion is needed for at least every pattern edge
+        assert program.num_fusions >= program.pattern_edges
+
+    @given(st.integers(0, 400))
+    @settings(max_examples=12, deadline=None)
+    def test_pattern_semantics_random(self, seed):
+        circuit = random_circuit(3, 10, seed + 31337)
+        pattern = circuit_to_pattern(circuit)
+        result = simulate_pattern(pattern, seed=seed)
+        assert states_equal_up_to_phase(simulate(circuit), result.state)
+
+    @given(st.integers(2, 4), st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_fusion_lower_bound_resource_states(self, num_qubits, seed):
+        """Resource states used >= fusion-graph nodes >= pattern nodes."""
+        circuit = random_circuit(num_qubits, 8, seed + 555)
+        hardware = HardwareConfig.square(10)
+        program = OneQCompiler(OneQConfig(hardware=hardware)).compile(circuit)
+        assert program.resource_states_used >= program.pattern_nodes

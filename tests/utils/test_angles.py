@@ -1,0 +1,72 @@
+"""Tests for angle classification helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.angles import (
+    is_clifford_angle,
+    is_pauli_angle,
+    normalize_angle,
+)
+
+
+class TestNormalizeAngle:
+    def test_zero(self):
+        assert normalize_angle(0.0) == 0.0
+
+    def test_two_pi_wraps_to_zero(self):
+        assert normalize_angle(2 * math.pi) == pytest.approx(0.0)
+
+    def test_negative_wraps_positive(self):
+        assert normalize_angle(-math.pi / 2) == pytest.approx(3 * math.pi / 2)
+
+    def test_large_multiple(self):
+        assert normalize_angle(7 * math.pi) == pytest.approx(math.pi)
+
+    @given(st.floats(-100.0, 100.0))
+    def test_range_invariant(self, alpha):
+        out = normalize_angle(alpha)
+        assert 0.0 <= out < 2 * math.pi
+
+    @given(st.floats(-50.0, 50.0))
+    def test_idempotent(self, alpha):
+        once = normalize_angle(alpha)
+        assert normalize_angle(once) == pytest.approx(once)
+
+    @given(st.floats(-20.0, 20.0), st.integers(-3, 3))
+    def test_period_invariant(self, alpha, k):
+        assert normalize_angle(alpha) == pytest.approx(
+            normalize_angle(alpha + 2 * math.pi * k), abs=1e-7
+        )
+
+
+class TestPauliAngle:
+    @pytest.mark.parametrize(
+        "alpha", [0.0, math.pi / 2, math.pi, 3 * math.pi / 2, 2 * math.pi, -math.pi / 2]
+    )
+    def test_pauli_angles(self, alpha):
+        assert is_pauli_angle(alpha)
+
+    @pytest.mark.parametrize("alpha", [math.pi / 4, 0.3, math.pi / 3, 1.0])
+    def test_non_pauli_angles(self, alpha):
+        assert not is_pauli_angle(alpha)
+
+    @given(st.integers(-8, 8))
+    def test_all_quarter_turns(self, k):
+        assert is_pauli_angle(k * math.pi / 2)
+
+    def test_tolerates_float_noise(self):
+        assert is_pauli_angle(math.pi / 2 + 1e-12)
+
+
+class TestCliffordAngle:
+    def test_same_set_as_pauli_for_equatorial(self):
+        for k in range(8):
+            alpha = k * math.pi / 4
+            assert is_clifford_angle(alpha) == is_pauli_angle(alpha)
+
+    def test_t_angle_not_clifford(self):
+        assert not is_clifford_angle(math.pi / 4)

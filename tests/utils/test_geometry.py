@@ -1,0 +1,76 @@
+"""Tests for grid geometry helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.geometry import Rect, bounding_rect, manhattan
+
+coords = st.tuples(st.integers(-50, 50), st.integers(-50, 50))
+
+
+class TestRect:
+    def test_single_cell(self):
+        r = Rect(2, 3, 2, 3)
+        assert r.width == 1
+        assert r.height == 1
+        assert r.area == 1
+
+    def test_area(self):
+        r = Rect(0, 0, 3, 4)
+        assert r.area == 20
+
+    def test_contains(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains((1, 1))
+        assert r.contains((0, 0))
+        assert not r.contains((3, 0))
+
+    def test_expanded_to(self):
+        r = Rect(0, 0, 1, 1).expanded_to((5, -2))
+        assert r == Rect(0, -2, 5, 1)
+
+    @given(coords, coords)
+    def test_expanded_contains_both(self, a, b):
+        r = Rect(a[0], a[1], a[0], a[1]).expanded_to(b)
+        assert r.contains(a)
+        assert r.contains(b)
+
+
+class TestBoundingRect:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_rect([])
+
+    def test_two_points(self):
+        r = bounding_rect([(0, 5), (3, 1)])
+        assert r == Rect(0, 1, 3, 5)
+
+    @given(st.lists(coords, min_size=1, max_size=20))
+    def test_contains_all(self, pts):
+        r = bounding_rect(pts)
+        assert all(r.contains(p) for p in pts)
+
+    @given(st.lists(coords, min_size=1, max_size=20))
+    def test_minimal(self, pts):
+        r = bounding_rect(pts)
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        assert r.x_min == min(xs) and r.x_max == max(xs)
+        assert r.y_min == min(ys) and r.y_max == max(ys)
+
+
+class TestManhattan:
+    def test_zero(self):
+        assert manhattan((1, 1), (1, 1)) == 0
+
+    def test_simple(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+
+    @given(coords, coords)
+    def test_symmetric(self, a, b):
+        assert manhattan(a, b) == manhattan(b, a)
+
+    @given(coords, coords, coords)
+    def test_triangle_inequality(self, a, b, c):
+        assert manhattan(a, c) <= manhattan(a, b) + manhattan(b, c)
