@@ -1,0 +1,60 @@
+"""Benchmarks the batch experiment runner itself.
+
+Measures (a) cold batch compilation of the 16-qubit grid across worker
+processes, (b) warm cache hits, and persists the run-table + BENCH
+artifacts so every benchmark session extends the perf trajectory started
+in ``BENCH_seed.json`` / ``BENCH_mapping_overhaul.json``.
+"""
+
+import json
+
+import pytest
+
+from repro.eval.batch import BatchRunner, table2_specs, write_bench_json, write_run_table
+
+from benchmarks.conftest import save_table
+
+GRID_16 = [("QFT", 16), ("QAOA", 16), ("RCA", 16), ("BV", 16)]
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return table2_specs(GRID_16)
+
+
+def test_cold_batch(benchmark, specs, tmp_path_factory):
+    cache = tmp_path_factory.mktemp("cache-cold")
+    runner = BatchRunner(jobs=2, cache_dir=cache)
+    records = benchmark.pedantic(runner.run, args=(specs,), rounds=1, iterations=1)
+    assert len(records) == len(specs)
+    assert all(not r.cached for r in records)
+
+
+def test_warm_cache(benchmark, specs, tmp_path_factory):
+    cache = tmp_path_factory.mktemp("cache-warm")
+    BatchRunner(jobs=2, cache_dir=cache).run(specs)
+    runner = BatchRunner(jobs=1, cache_dir=cache)
+    records = benchmark.pedantic(runner.run, args=(specs,), rounds=1, iterations=1)
+    assert all(r.cached for r in records)
+
+
+def test_artifacts_and_trajectory(specs, results_dir):
+    """Persist the grid's run table and append to the BENCH trajectory."""
+    records = BatchRunner(jobs=2).run(specs)
+    json_path, csv_path = write_run_table(
+        records, results_dir, stem="run_table_16q", meta={"grid": "table2-16q"}
+    )
+    bench_path = write_bench_json(
+        records, results_dir / "BENCH_16q.json", label="16q-grid"
+    )
+    assert json_path.exists() and csv_path.exists() and bench_path.exists()
+    payload = json.loads(bench_path.read_text())
+    assert set(payload["runs"]) == {f"{n}-{q}" for n, q in GRID_16}
+    save_table(
+        results_dir,
+        "batch_16q",
+        "\n".join(
+            f"{r.label}: {r.seconds:.3f}s depth={r.depth} fusions={r.num_fusions:,}"
+            for r in records
+        ),
+    )

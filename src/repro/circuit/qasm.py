@@ -18,6 +18,9 @@ from repro.circuit.gates import GATE_SIGNATURES, Gate
 _TO_QASM = {
     "i": "id",
     "j": None,  # expanded to rz + h below
+    # ``p`` is not in OpenQASM 2.0's qelib1.inc; ``u1`` is its exact
+    # equivalent there and round-trips through _FROM_QASM
+    "p": "u1",
 }
 _FROM_QASM = {
     "id": "i",

@@ -5,8 +5,10 @@ Commands:
 * ``compile``  — compile a benchmark (or QASM file) with OneQ and print
   metrics and optionally the layer layouts;
 * ``baseline`` — run the baseline cluster-state interpreter;
-* ``table1`` / ``table2`` / ``fig12`` / ``fig13`` / ``fig15`` — regenerate
-  the paper's tables and figures;
+* ``table1`` / ``table2`` / ``fig12`` / ``fig13`` / ``fig14`` /
+  ``fig15`` / ``ablation`` — regenerate the paper's tables and figures;
+* ``bench``    — batch-compile the Table-2 grid (multiprocessing +
+  on-disk cache) and persist run-table / BENCH artifacts;
 * ``export``   — emit a benchmark circuit as OpenQASM 2.0.
 """
 
@@ -98,22 +100,98 @@ def cmd_export(args) -> int:
     return 0
 
 
+#: ``--quick`` restricts figure sweeps to the cheapest/most contrasting
+#: benchmark pair (QFT worst case, BV best case).
+_QUICK_FIG_BENCHMARKS = ("QFT", "BV")
+
+
 def cmd_table(args, which: str) -> int:
     from repro import eval as evaluation
 
+    quick = getattr(args, "quick", False)
+    fig_benchmarks = (
+        _QUICK_FIG_BENCHMARKS if quick else ("QFT", "QAOA", "RCA", "BV")
+    )
     if which == "table1":
         print(evaluation.render_table1(evaluation.run_table1()))
     elif which == "table2":
         benchmarks = None
-        if args.quick:
+        if quick:
             benchmarks = [("QFT", 16), ("QAOA", 16), ("RCA", 16), ("BV", 16)]
         print(evaluation.render_table2(evaluation.run_table2(benchmarks)))
     elif which == "fig12":
-        print(evaluation.render_fig12(evaluation.run_fig12(num_qubits=args.qubits)))
+        print(
+            evaluation.render_fig12(
+                evaluation.run_fig12(
+                    num_qubits=args.qubits, benchmarks=fig_benchmarks
+                )
+            )
+        )
     elif which == "fig13":
-        print(evaluation.render_fig13(evaluation.run_fig13(num_qubits=args.qubits)))
+        print(
+            evaluation.render_fig13(
+                evaluation.run_fig13(
+                    num_qubits=args.qubits, benchmarks=fig_benchmarks
+                )
+            )
+        )
+    elif which == "fig14":
+        print(evaluation.render_fig14(evaluation.run_fig14(num_qubits=args.qubits)))
     elif which == "fig15":
-        print(evaluation.render_fig15(evaluation.run_fig15(num_qubits=args.qubits)))
+        print(
+            evaluation.render_fig15(
+                evaluation.run_fig15(
+                    num_qubits=args.qubits, benchmarks=fig_benchmarks
+                )
+            )
+        )
+    elif which == "ablation":
+        print(
+            evaluation.render_ablation(
+                evaluation.run_ablation(num_qubits=args.qubits)
+            )
+        )
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import pathlib
+
+    from repro import eval as evaluation
+
+    benchmarks = None
+    if args.quick:
+        benchmarks = [("QFT", 16), ("QAOA", 16), ("RCA", 16), ("BV", 16)]
+    out_dir = pathlib.Path(args.out)
+    cache_dir = pathlib.Path(args.cache) if args.cache else None
+    records = evaluation.run_grid(
+        benchmarks=benchmarks,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        out_dir=out_dir,
+        stem=args.stem,
+        seed=args.seed,
+        resource_state=args.resource_state,
+    )
+    reference = None
+    if args.reference:
+        import json
+
+        ref_path = pathlib.Path(args.reference)
+        if not ref_path.exists():
+            print(f"error: reference file not found: {ref_path}", file=sys.stderr)
+            return 2
+        payload = json.loads(ref_path.read_text())
+        reference = payload.get("runs", payload)
+    bench_path = evaluation.write_bench_json(
+        records,
+        out_dir / f"BENCH_{args.label}.json",
+        label=args.label,
+        reference=reference,
+    )
+    print(evaluation.render_run_records(records))
+    print(f"run table: {out_dir / (args.stem + '.json')}")
+    print(f"bench:     {bench_path}")
     return 0
 
 
@@ -144,10 +222,42 @@ def build_parser() -> argparse.ArgumentParser:
         else:
             p.add_argument("--output", help="write QASM here")
 
-    for which in ("table1", "table2", "fig12", "fig13", "fig15"):
+    for which in (
+        "table1", "table2", "fig12", "fig13", "fig14", "fig15", "ablation",
+    ):
         p = sub.add_parser(which)
         p.add_argument("--qubits", type=int, default=16)
-        p.add_argument("--quick", action="store_true", help="16-qubit rows only")
+        # only offer --quick where it actually changes the run: table1
+        # is already cheap, fig14/ablation run a single benchmark
+        if which == "table2":
+            p.add_argument(
+                "--quick", action="store_true", help="16-qubit rows only"
+            )
+        elif which in ("fig12", "fig13", "fig15"):
+            p.add_argument(
+                "--quick", action="store_true", help="QFT+BV benchmarks only"
+            )
+
+    p = sub.add_parser(
+        "bench", help="batch-compile the Table-2 grid, persist run table"
+    )
+    p.add_argument("--jobs", type=int, default=None, help="worker processes")
+    p.add_argument(
+        "--out", default="benchmarks/results", help="artifact directory"
+    )
+    p.add_argument("--cache", default=None, help="on-disk result cache dir")
+    p.add_argument("--stem", default="run_table", help="artifact file stem")
+    p.add_argument("--label", default="run", help="BENCH_<label>.json name")
+    p.add_argument(
+        "--reference", default=None,
+        help="earlier BENCH_*.json to compute speedups against",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--resource-state", default="3-line",
+        choices=["3-line", "4-line", "4-star", "4-ring"],
+    )
+    p.add_argument("--quick", action="store_true", help="16-qubit rows only")
 
     return parser
 
@@ -160,6 +270,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_baseline(args)
     if args.command == "export":
         return cmd_export(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     return cmd_table(args, args.command)
 
 

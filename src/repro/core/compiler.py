@@ -13,6 +13,7 @@ The two paper metrics fall out of the mapping:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -41,6 +42,12 @@ class OneQConfig:
     alpha: Optional[float] = None
     use_embedding: bool = True
     route_radius: int = 6
+    #: max candidate paths explored per routed placement
+    #: (:meth:`InLayerMapper._routed_targets`)
+    route_targets_limit: int = 6
+    #: bound on placed-to-placed in-layer routing; ``None`` = unbounded
+    #: (bounding trades routing fusions for shuffled edges)
+    connect_radius: Optional[int] = None
     #: seed cross-partition ports near their earlier-layer counterparts
     #: (shortens shuffle paths; disable for ablation)
     use_placement_hints: bool = True
@@ -66,6 +73,9 @@ class CompiledProgram:
     layouts: List[LayerLayout] = field(default_factory=list)
     resource_states_used: int = 0
     deferred_pairs: int = 0
+    #: photons consumed beyond those supplied by resource states; a
+    #: non-zero value flags a bookkeeping bug (see ``z_measurements``)
+    photon_deficit: int = 0
 
     @property
     def physical_depth(self) -> int:
@@ -84,6 +94,31 @@ class CompiledProgram:
             f"layers={self.mapping_layers}+{self.shuffle_layers} "
             f"partitions={self.num_partitions}"
         )
+
+
+def settle_photon_budget(
+    photons: int, consumed: int, name: str = "program"
+) -> Tuple[int, int]:
+    """Balance the photon budget of a compiled program.
+
+    Returns ``(z_measurements, deficit)``: leftover photons are measured
+    in the Z basis to detach them from the cluster; consuming *more*
+    photons than the resource states supply is a bookkeeping bug that
+    used to be clamped silently — it is now recorded (and warned about)
+    so it cannot hide.
+    """
+    balance = photons - consumed
+    if balance >= 0:
+        return balance, 0
+    deficit = -balance
+    warnings.warn(
+        f"{name}: photon bookkeeping deficit of {deficit} "
+        f"(consumed {consumed} > supplied {photons}); "
+        "fusion or resource-state accounting is inconsistent",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return 0, deficit
 
 
 class OneQCompiler:
@@ -131,6 +166,8 @@ class OneQCompiler:
             resource_state=rst,
             alpha=cfg.alpha,
             route_radius=cfg.route_radius,
+            route_targets_limit=cfg.route_targets_limit,
+            connect_radius=cfg.connect_radius,
         )
         tally = FusionTally()
         port_of: Dict[Tuple[int, int], FGNode] = {}
@@ -205,7 +242,9 @@ class OneQCompiler:
         resource_states += aux_cells
         photons = resource_states * rst.size
         consumed = 2 * tally.total + pattern.graph.number_of_nodes()
-        tally.z_measurements = max(0, photons - consumed)
+        tally.z_measurements, photon_deficit = settle_photon_budget(
+            photons, consumed, name=name
+        )
 
         return CompiledProgram(
             name=name,
@@ -220,6 +259,7 @@ class OneQCompiler:
             layouts=mapper.layers,
             resource_states_used=resource_states,
             deferred_pairs=sum(len(v) for v in pairs_by_boundary.values()),
+            photon_deficit=photon_deficit,
         )
 
 

@@ -26,6 +26,7 @@ import networkx as nx
 
 from repro.core.fusion_graph import FGNode, FusionGraph
 from repro.hardware.resource_state import ResourceStateType
+from repro.utils.geometry import grid_neighbor_table
 
 Coord = Tuple[int, int]
 
@@ -73,6 +74,8 @@ class InLayerMapper:
         resource_state: ResourceStateType,
         alpha: Optional[float] = None,
         route_radius: int = 6,
+        route_targets_limit: int = 6,
+        connect_radius: Optional[int] = None,
     ):
         rows, cols = shape
         if rows < 2 or cols < 2:
@@ -82,9 +85,15 @@ class InLayerMapper:
         # paper: alpha > 1, typically the max degree of the physical layer
         self.alpha = float(alpha) if alpha is not None else 4.0
         self.route_radius = route_radius
+        self.route_targets_limit = route_targets_limit
+        #: bound on placed-to-placed routing (:meth:`_connect_placed`);
+        #: ``None`` keeps the historical unbounded search — bounding it
+        #: trades routing fusions for deferred (shuffled) edges
+        self.connect_radius = connect_radius
         self.layers: List[LayerLayout] = []
         self.placements: Dict[FGNode, Placement] = {}
         self._hints: Dict[FGNode, Coord] = {}
+        self._nbr_table: Dict[Coord, List[Coord]] = grid_neighbor_table(shape)
         self._reset_layer_state()
 
     # ------------------------------------------------------------------
@@ -96,6 +105,7 @@ class InLayerMapper:
         self._realized: Dict[FGNode, int] = {}
         self._rect: Optional[Tuple[int, int, int, int]] = None
         self._current: Optional[LayerLayout] = None
+        self._free_nbrs: Dict[Coord, int] = {}
 
     def _open_layer(self) -> LayerLayout:
         layout = LayerLayout(index=len(self.layers), shape=self.shape)
@@ -120,18 +130,32 @@ class InLayerMapper:
         return 0 <= r < self.shape[0] and 0 <= c < self.shape[1]
 
     def _neighbors(self, coord: Coord) -> List[Coord]:
-        r, c = coord
-        return [
-            p
-            for p in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1))
-            if self._in_bounds(p)
-        ]
+        return self._nbr_table[coord]
 
     def _free(self, coord: Coord) -> bool:
         return coord not in self._occupied
 
     def _free_neighbor_count(self, coord: Coord) -> int:
-        return sum(1 for p in self._neighbors(coord) if self._free(p))
+        """Free neighbours of *coord*, cached incrementally.
+
+        Cells only ever become occupied within a layer, so the cache is
+        maintained by decrement when a cell is claimed (:meth:`_on_occupy`).
+        """
+        cached = self._free_nbrs.get(coord)
+        if cached is None:
+            occupied = self._occupied
+            cached = sum(
+                1 for p in self._nbr_table[coord] if p not in occupied
+            )
+            self._free_nbrs[coord] = cached
+        return cached
+
+    def _on_occupy(self, coord: Coord) -> None:
+        """Keep the free-neighbour cache consistent after claiming a cell."""
+        cache = self._free_nbrs
+        for p in self._nbr_table[coord]:
+            if p in cache:
+                cache[p] -= 1
 
     # ------------------------------------------------------------------
     # cost function H
@@ -147,8 +171,14 @@ class InLayerMapper:
             return (max(xs) - min(xs) + 1) * (max(ys) - min(ys) + 1)
         x0, y0, x1, y1 = rect
         for (r, c) in coords:
-            x0, y0 = min(x0, r), min(y0, c)
-            x1, y1 = max(x1, r), max(y1, c)
+            if r < x0:
+                x0 = r
+            elif r > x1:
+                x1 = r
+            if c < y0:
+                y0 = c
+            elif c > y1:
+                y1 = c
         return (x1 - x0 + 1) * (y1 - y0 + 1)
 
     def _blockage_score(self, node: FGNode, coord: Coord, occupied_extra) -> float:
@@ -180,25 +210,74 @@ class InLayerMapper:
         change blockage, so the score is the area term plus local
         blockage deltas; the constant global part cancels in comparisons.
         """
-        occupied_extra = set(new_cells)
-        score = float(self._rect_area_with(new_cells))
-        affected: Set[Tuple[FGNode, Coord]] = set()
+        occupied = self._occupied
+        remaining = self._remaining
+        nbr_table = self._nbr_table
+        placements = self.placements
+        current_layer = len(self.layers) - 1
+        # single-cell candidates (direct adjacency) dominate: avoid the
+        # set allocations and min/max calls of the generic path
+        single = new_cells[0] if len(new_cells) == 1 else None
+        rect = self._rect
+        if single is not None and rect is not None:
+            x0, y0, x1, y1 = rect
+            r, c = single
+            if r < x0:
+                x0 = r
+            elif r > x1:
+                x1 = r
+            if c < y0:
+                y0 = c
+            elif c > y1:
+                y1 = c
+            score = float((x1 - x0 + 1) * (y1 - y0 + 1))
+            occupied_extra: Optional[Set[Coord]] = None
+        else:
+            occupied_extra = set(new_cells)
+            score = float(self._rect_area_with(new_cells))
+        affected: Dict[FGNode, Coord] = {}
         for cell in new_cells:
-            for p in self._neighbors(cell):
-                occ = self._occupied.get(p)
-                if isinstance(occ, tuple) and occ in self._remaining:
-                    place = self.placements.get(occ)
-                    if place is not None and place.layer == len(self.layers) - 1:
-                        affected.add((occ, place.coord))
-        saved = dict(self._remaining)
+            for p in nbr_table[cell]:
+                occ = occupied.get(p)
+                if isinstance(occ, tuple) and occ in remaining:
+                    place = placements.get(occ)
+                    if place is not None and place.layer == current_layer:
+                        affected[occ] = place.coord
+        # Hypothetically apply ``remaining_after`` (<= 2 keys) instead of
+        # copying the whole dict; restore the exact prior entries after.
+        missing = object()
+        saved = [(key, remaining.get(key, missing)) for key in remaining_after]
         try:
-            self._remaining.update(remaining_after)
-            for node, coord in affected:
-                score += self._blockage_score(node, coord, occupied_extra)
+            remaining.update(remaining_after)
+            alpha = self.alpha
+            to_score = list(affected.items())
             if new_node is not None and node_cell is not None:
-                score += self._blockage_score(new_node, node_cell, occupied_extra)
+                to_score.append((new_node, node_cell))
+            for node, coord in to_score:
+                # inlined _blockage_score: this is the innermost loop of
+                # candidate scoring
+                rem = remaining.get(node, 0)
+                if rem <= 0:
+                    continue
+                free = 0
+                if single is not None:
+                    for p in nbr_table[coord]:
+                        if p not in occupied and p != single:
+                            free += 1
+                else:
+                    for p in nbr_table[coord]:
+                        if p not in occupied and p not in occupied_extra:
+                            free += 1
+                if free == 0:
+                    score += alpha
+                elif rem > free:
+                    score += 1.0
         finally:
-            self._remaining = saved
+            for key, value in saved:
+                if value is missing:
+                    remaining.pop(key, None)
+                else:
+                    remaining[key] = value
         return score
 
     # ------------------------------------------------------------------
@@ -209,6 +288,7 @@ class InLayerMapper:
         if not self._free(coord):
             raise RuntimeError(f"cell {coord} already occupied")
         self._occupied[coord] = node
+        self._on_occupy(coord)
         self._current.node_at[coord] = node
         self.placements[node] = Placement(len(self.layers) - 1, coord)
         self._remaining[node] = degree
@@ -228,6 +308,7 @@ class InLayerMapper:
         assert self._current is not None
         for cell in cells:
             self._occupied[cell] = "aux"
+            self._on_occupy(cell)
             self._current.aux_cells.add(cell)
             if self._rect is None:
                 self._rect = (cell[0], cell[1], cell[0], cell[1])
@@ -267,19 +348,16 @@ class InLayerMapper:
         avoid = avoid or set()
         queue = deque([start])
         parent: Dict[Coord, Optional[Coord]] = {start: None}
+        # depth is tracked alongside the BFS instead of being reconstructed
+        # by walking the parent chain on every dequeue (O(n^2) per route)
+        depth_of: Dict[Coord, int] = {start: 0}
+        nbr_table = self._nbr_table
+        occupied = self._occupied
         while queue:
             cur = queue.popleft()
-            depth = 0
-            # reconstruct depth lazily only when needed for max_len
-            if max_len is not None:
-                d, p = 0, cur
-                while parent[p] is not None:
-                    p = parent[p]
-                    d += 1
-                depth = d
-                if depth >= max_len:
-                    continue
-            for nxt in self._neighbors(cur):
+            if max_len is not None and depth_of[cur] >= max_len:
+                continue
+            for nxt in nbr_table[cur]:
                 if nxt in parent or nxt in avoid:
                     continue
                 if goal_test(nxt, cur):
@@ -291,8 +369,9 @@ class InLayerMapper:
                         back = parent[back]
                     path.reverse()
                     return path
-                if self._free(nxt):
+                if nxt not in occupied:
                     parent[nxt] = cur
+                    depth_of[nxt] = depth_of[cur] + 1
                     queue.append(nxt)
         return None
 
@@ -447,7 +526,9 @@ class InLayerMapper:
             assert self._current is not None
             self._current.paths.append([ca, cb])
             return "edge"
-        path = self._bfs_path(ca, lambda nxt, cur: nxt == cb)
+        path = self._bfs_path(
+            ca, lambda nxt, cur: nxt == cb, max_len=self.connect_radius
+        )
         if path is None:
             return "defer"
         interior = path[1:-1]
@@ -484,14 +565,24 @@ class InLayerMapper:
         need_routing = not options or min(s for s, _, _ in options) >= self.alpha
         if need_routing:
             needed = max(1, min(degree - 1, 3))
+            best_so_far = min((s for s, _, _ in options), default=float("inf"))
             for path in self._routed_targets(cp, needed):
                 target = path[-1]
                 cells = path[1:]
+                # the aux-cell penalty and the (monotone) area term bound
+                # the score from below; blockage only adds to it, so a
+                # path whose bound already loses cannot be the minimum
+                penalty = 0.25 * (len(path) - 2)
+                bound = float(self._rect_area_with(cells)) + penalty
+                if bound > best_so_far:
+                    continue
                 score = self._score_candidate(cells, new, target, after)
                 # prefer direct edges when scores tie: each aux cell costs
                 # a fusion, which H does not see
-                score += 0.25 * (len(path) - 2)
+                score += penalty
                 options.append((score, target, path))
+                if score < best_so_far:
+                    best_so_far = score
         if not options:
             return "spill"
         _, best, path = min(options, key=lambda o: (o[0], o[1]))
@@ -507,23 +598,29 @@ class InLayerMapper:
         return len(path) - 2
 
     def _routed_targets(
-        self, start: Coord, needed: int, limit: int = 6
+        self, start: Coord, needed: int, limit: Optional[int] = None
     ) -> List[List[Coord]]:
         """Up to *limit* shortest free paths to roomy cells around *start*.
 
         Routing paths have length >= 2 (at least one auxiliary state), as
-        in the paper; each returned path includes both endpoints.
+        in the paper; each returned path includes both endpoints.  The
+        default *limit* is the mapper's ``route_targets_limit``.
         """
+        if limit is None:
+            limit = self.route_targets_limit
         results: List[List[Coord]] = []
         queue = deque([start])
         parent: Dict[Coord, Optional[Coord]] = {start: None}
         depth = {start: 0}
+        nbr_table = self._nbr_table
+        occupied = self._occupied
+        radius = self.route_radius
         while queue and len(results) < limit:
             cur = queue.popleft()
-            if depth[cur] >= self.route_radius:
+            if depth[cur] >= radius:
                 continue
-            for nxt in self._neighbors(cur):
-                if nxt in parent or not self._free(nxt):
+            for nxt in nbr_table[cur]:
+                if nxt in parent or nxt in occupied:
                     continue
                 parent[nxt] = cur
                 depth[nxt] = depth[cur] + 1
@@ -571,13 +668,15 @@ class InLayerMapper:
         # spiral BFS outward over all cells (not only free-connected ones)
         queue = deque([near])
         seen = {near}
+        nbr_table = self._nbr_table
+        occupied = self._occupied
         while queue:
             cur = queue.popleft()
-            for nxt in self._neighbors(cur):
+            for nxt in nbr_table[cur]:
                 if nxt in seen:
                     continue
                 seen.add(nxt)
-                if self._free(nxt):
+                if nxt not in occupied:
                     return nxt
                 queue.append(nxt)
         return None

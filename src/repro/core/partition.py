@@ -138,8 +138,30 @@ def partition_pattern(
         current_layers = []
 
     current_states = 0
+    # Planarity is monotone while a partition grows: every candidate is
+    # an induced subgraph of the graph on its nodes, and any induced
+    # subgraph of a planar graph stays planar.  Instead of one O(V)
+    # planarity test per layer, probe the whole window of layers up to
+    # the next (exactly predictable) capacity-triggered close: one test
+    # certifies every per-layer check in the window, and when the probe
+    # fails a binary search pins the first non-planar layer in O(log)
+    # tests.  The partitioning decisions are identical to the per-layer
+    # algorithm; only the number of planarity tests changes.
+    states_per_layer = [
+        sum(size_estimator(node) for node in layer) for layer in layers
+    ]
+    planar_horizon = -1  # candidates through this layer are known planar
+    known_fail_at = -1  # first non-planar layer found by a probe
+    num_layers = len(layers)
+
+    def candidate_nodes(start: int, end: int) -> List[int]:
+        nodes = list(current_nodes)
+        for j in range(start, end + 1):
+            nodes.extend(layers[j])
+        return nodes
+
     for layer_idx, layer in enumerate(layers):
-        layer_states = sum(size_estimator(node) for node in layer)
+        layer_states = states_per_layer[layer_idx]
         if current_nodes and len(current_layers) >= config.max_layers:
             close_partition()
             current_states = 0
@@ -150,11 +172,53 @@ def partition_pattern(
         ):
             close_partition()
             current_states = 0
-        if config.enforce_planarity and current_nodes:
-            candidate = graph.subgraph(current_nodes + layer)
-            if not is_planar(candidate):
+        if (
+            config.enforce_planarity
+            and current_nodes
+            and layer_idx > planar_horizon
+        ):
+            if layer_idx == known_fail_at:
                 close_partition()
                 current_states = 0
+            else:
+                # window [layer_idx, cap_end]: no capacity close occurs
+                # inside it, so candidate growth there is purely additive
+                cap_end = layer_idx
+                states = current_states + layer_states
+                run_len = len(current_layers) + 1
+                j = layer_idx + 1
+                while j < num_layers:
+                    if run_len >= config.max_layers:
+                        break
+                    if (
+                        config.target_states is not None
+                        and states + states_per_layer[j] > config.target_states
+                    ):
+                        break
+                    cap_end = j
+                    states += states_per_layer[j]
+                    run_len += 1
+                    j += 1
+                if is_planar(graph.subgraph(candidate_nodes(layer_idx, cap_end))):
+                    planar_horizon = cap_end
+                else:
+                    lo, hi = layer_idx, cap_end
+                    while lo < hi:
+                        mid = (lo + hi) // 2
+                        if is_planar(
+                            graph.subgraph(candidate_nodes(layer_idx, mid))
+                        ):
+                            lo = mid + 1
+                        else:
+                            hi = mid
+                    if lo == layer_idx:
+                        close_partition()
+                        current_states = 0
+                    else:
+                        planar_horizon = lo - 1
+                        known_fail_at = lo
+        if layer_idx >= known_fail_at:
+            known_fail_at = -1
         current_nodes.extend(layer)
         current_layers.append(layer_idx)
         current_states += layer_states

@@ -21,7 +21,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.utils.geometry import manhattan
+from repro.utils.geometry import grid_neighbor_table, manhattan
 
 Coord = Tuple[int, int]
 
@@ -35,29 +35,38 @@ class ShuffleLayer:
     paths: List[List[Coord]] = field(default_factory=list)
 
     def _neighbors(self, coord: Coord) -> List[Coord]:
-        r, c = coord
-        rows, cols = self.shape
-        return [
-            (rr, cc)
-            for rr, cc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1))
-            if 0 <= rr < rows and 0 <= cc < cols
-        ]
+        return grid_neighbor_table(self.shape)[coord]
 
     def try_route(self, a: Coord, b: Coord) -> Optional[List[Coord]]:
-        """Shortest free path from *a* to *b* (inclusive), or None."""
+        """Shortest free path from *a* to *b* (inclusive), or None.
+
+        ``a == b`` never reaches here: :func:`connect_pairs` realizes
+        same-cell pairs as pure temporal fusions without a shuffle layer.
+        """
         if a in self.used or b in self.used:
             return None
-        if a == b:
-            self.used.add(a)
-            path = [a]
-            self.paths.append(path)
-            return path
+        nbr_table = grid_neighbor_table(self.shape)
+        used = self.used
+        # exact impossibility guards: skip the BFS flood on layers that
+        # cannot host the path (a path needs manhattan+1 free cells, a
+        # free cell after *a* and one before *b* unless they are adjacent)
+        if b not in nbr_table[a]:
+            rows, cols = self.shape
+            dist = abs(a[0] - b[0]) + abs(a[1] - b[1])
+            if rows * cols - len(used) < dist + 1:
+                return None
+            if all(p in used for p in nbr_table[a]):
+                return None
+            if all(p in used for p in nbr_table[b]):
+                return None
         queue = deque([a])
+        pop = queue.popleft
+        push = queue.append
         parent: Dict[Coord, Optional[Coord]] = {a: None}
         while queue:
-            cur = queue.popleft()
-            for nxt in self._neighbors(cur):
-                if nxt in parent or nxt in self.used:
+            cur = pop()
+            for nxt in nbr_table[cur]:
+                if nxt in parent or nxt in used:
                     continue
                 parent[nxt] = cur
                 if nxt == b:
@@ -70,7 +79,7 @@ class ShuffleLayer:
                     self.used.update(path)
                     self.paths.append(path)
                     return path
-                queue.append(nxt)
+                push(nxt)
         return None
 
 

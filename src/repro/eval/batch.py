@@ -1,0 +1,469 @@
+"""Batch experiment runner: grids of compiles, cached and parallel.
+
+The table/figure runners in :mod:`repro.eval.experiments` compile one
+configuration at a time.  This module adds the production layer on top:
+
+* :class:`RunSpec` — one hashable experiment coordinate (benchmark,
+  qubits, hardware, compiler knobs);
+* :class:`BatchRunner` — fans specs across ``multiprocessing`` workers,
+  memoizes results on disk keyed by the spec's content hash (compiles
+  are deterministic, so a cache hit is exact), and returns
+  :class:`RunRecord` rows;
+* run-table artifacts — every batch can be persisted as machine-readable
+  JSON + CSV (one row per run, schema in ``RUN_TABLE_COLUMNS``), the
+  convention the paper-adjacent replication repos use for all analysis;
+* ``BENCH_*.json`` — a compact perf-trajectory artifact comparing a
+  labelled run against a stored reference (wall seconds + headline
+  metrics per benchmark).
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+import multiprocessing
+import pathlib
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+SCHEMA_VERSION = 1
+
+#: Run-table columns, in on-disk CSV order.  Meanings:
+#:   key                 content hash of the spec (cache identity)
+#:   benchmark/num_qubits/seed   which circuit was compiled
+#:   resource_state/ratio/area/extension   hardware coordinate
+#:   depth/num_fusions   the paper's two headline metrics (OneQ)
+#:   synthesis/edge/routing/shuffling/z_measurements   fusion breakdown
+#:   mapping_layers/shuffle_layers/num_partitions   layer accounting
+#:   pattern_nodes/pattern_edges   measurement-pattern size
+#:   resource_states_used/deferred_pairs/photon_deficit   bookkeeping
+#:   baseline_depth/baseline_fusions   baseline interpreter on the same
+#:       area (absent when the spec disables the baseline)
+#:   depth_improvement/fusion_improvement   baseline / OneQ ratios
+#:   seconds   OneQ compile wall time;  baseline_seconds   baseline time
+#:   cached    True when the row came from the on-disk cache
+RUN_TABLE_COLUMNS: List[str] = [
+    "key",
+    "benchmark",
+    "num_qubits",
+    "seed",
+    "resource_state",
+    "ratio",
+    "area",
+    "extension",
+    "depth",
+    "num_fusions",
+    "synthesis",
+    "edge",
+    "routing",
+    "shuffling",
+    "z_measurements",
+    "mapping_layers",
+    "shuffle_layers",
+    "num_partitions",
+    "pattern_nodes",
+    "pattern_edges",
+    "resource_states_used",
+    "deferred_pairs",
+    "photon_deficit",
+    "baseline_depth",
+    "baseline_fusions",
+    "depth_improvement",
+    "fusion_improvement",
+    "seconds",
+    "baseline_seconds",
+    "cached",
+]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One experiment coordinate: circuit x hardware x compiler config."""
+
+    benchmark: str
+    num_qubits: int
+    seed: int = 7
+    resource_state: str = "3-line"
+    ratio: float = 1.0
+    area: Optional[int] = None
+    extension: int = 1
+    include_baseline: bool = True
+    #: extra ``OneQConfig`` kwargs as a sorted tuple of (name, value)
+    compiler_options: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def label(self) -> str:
+        return f"{self.benchmark}-{self.num_qubits}"
+
+    def key(self) -> str:
+        """Content hash: identical specs share cache entries."""
+        payload = asdict(self)
+        payload["compiler_options"] = sorted(
+            (str(k), repr(v)) for k, v in self.compiler_options
+        )
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha1(blob.encode()).hexdigest()[:16]
+
+
+@dataclass
+class RunRecord:
+    """One run-table row (see ``RUN_TABLE_COLUMNS`` for field meanings)."""
+
+    key: str
+    benchmark: str
+    num_qubits: int
+    seed: int
+    resource_state: str
+    ratio: float
+    area: Optional[int]
+    extension: int
+    depth: int
+    num_fusions: int
+    synthesis: int
+    edge: int
+    routing: int
+    shuffling: int
+    z_measurements: int
+    mapping_layers: int
+    shuffle_layers: int
+    num_partitions: int
+    pattern_nodes: int
+    pattern_edges: int
+    resource_states_used: int
+    deferred_pairs: int
+    photon_deficit: int
+    baseline_depth: Optional[int] = None
+    baseline_fusions: Optional[int] = None
+    depth_improvement: Optional[float] = None
+    fusion_improvement: Optional[float] = None
+    seconds: float = 0.0
+    baseline_seconds: float = 0.0
+    cached: bool = False
+
+    @property
+    def label(self) -> str:
+        return f"{self.benchmark}-{self.num_qubits}"
+
+
+def execute_spec(spec: RunSpec) -> RunRecord:
+    """Compile one spec and measure it (runs inside worker processes)."""
+    from repro.baseline.interpreter import compile_baseline
+    from repro.circuit.benchmarks import get_benchmark
+    from repro.core.compiler import OneQCompiler, OneQConfig
+    from repro.eval.experiments import _hardware_for
+    from repro.hardware.resource_state import get_resource_state
+
+    rst = get_resource_state(spec.resource_state)
+    circuit = get_benchmark(spec.benchmark, spec.num_qubits, seed=spec.seed)
+    hardware = _hardware_for(
+        spec.num_qubits,
+        rst,
+        ratio=spec.ratio,
+        area=spec.area,
+        extension=spec.extension,
+    )
+    compiler = OneQCompiler(
+        OneQConfig(hardware=hardware, **dict(spec.compiler_options))
+    )
+    t0 = time.perf_counter()
+    program = compiler.compile(circuit, name=spec.label)
+    oneq_seconds = time.perf_counter() - t0
+
+    baseline_depth = baseline_fusions = None
+    depth_improvement = fusion_improvement = None
+    baseline_seconds = 0.0
+    if spec.include_baseline:
+        t0 = time.perf_counter()
+        baseline = compile_baseline(
+            circuit, name=spec.benchmark, resource_state=rst
+        )
+        baseline_seconds = time.perf_counter() - t0
+        baseline_depth = baseline.depth
+        baseline_fusions = baseline.num_fusions
+        depth_improvement = baseline.depth / max(1, program.physical_depth)
+        fusion_improvement = baseline.num_fusions / max(1, program.num_fusions)
+
+    tally = program.fusions
+    return RunRecord(
+        key=spec.key(),
+        benchmark=spec.benchmark,
+        num_qubits=spec.num_qubits,
+        seed=spec.seed,
+        resource_state=spec.resource_state,
+        ratio=spec.ratio,
+        area=spec.area,
+        extension=spec.extension,
+        depth=program.physical_depth,
+        num_fusions=program.num_fusions,
+        synthesis=tally.synthesis,
+        edge=tally.edge,
+        routing=tally.routing,
+        shuffling=tally.shuffling,
+        z_measurements=tally.z_measurements,
+        mapping_layers=program.mapping_layers,
+        shuffle_layers=program.shuffle_layers,
+        num_partitions=program.num_partitions,
+        pattern_nodes=program.pattern_nodes,
+        pattern_edges=program.pattern_edges,
+        resource_states_used=program.resource_states_used,
+        deferred_pairs=program.deferred_pairs,
+        photon_deficit=program.photon_deficit,
+        baseline_depth=baseline_depth,
+        baseline_fusions=baseline_fusions,
+        depth_improvement=depth_improvement,
+        fusion_improvement=fusion_improvement,
+        seconds=oneq_seconds,
+        baseline_seconds=baseline_seconds,
+    )
+
+
+def _execute_spec_dict(payload: Dict) -> Dict:
+    """Picklable worker entry: spec dict in, record dict out."""
+    spec = _spec_from_dict(payload)
+    return asdict(execute_spec(spec))
+
+
+def _spec_from_dict(payload: Dict) -> RunSpec:
+    payload = dict(payload)
+    payload["compiler_options"] = tuple(
+        (k, v) for k, v in payload.get("compiler_options", ())
+    )
+    return RunSpec(**payload)
+
+
+class BatchRunner:
+    """Run grids of :class:`RunSpec` with caching and multiprocessing.
+
+    ``jobs=None`` picks ``min(cpu_count, #specs)``; ``jobs=1`` stays
+    in-process (useful under pytest).  ``cache_dir`` enables the on-disk
+    memo: one JSON file per spec hash, reused across runner instances.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[pathlib.Path] = None,
+    ):
+        self.jobs = jobs
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir else None
+
+    # -- cache ---------------------------------------------------------
+    def _cache_path(self, spec: RunSpec) -> Optional[pathlib.Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{spec.key()}.json"
+
+    def _load_cached(self, spec: RunSpec) -> Optional[RunRecord]:
+        path = self._cache_path(spec)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.pop("schema_version", None) != SCHEMA_VERSION:
+            return None
+        try:
+            record = RunRecord(**payload)
+        except TypeError:
+            return None
+        record.cached = True
+        return record
+
+    def _store(self, record: RunRecord, spec: RunSpec) -> None:
+        path = self._cache_path(spec)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = asdict(record)
+        payload["cached"] = False
+        payload["schema_version"] = SCHEMA_VERSION
+        path.write_text(json.dumps(payload, indent=1, default=str))
+
+    # -- execution -----------------------------------------------------
+    def run(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
+        """Execute *specs* (cache-first), preserving input order."""
+        records: Dict[int, RunRecord] = {}
+        todo: List[Tuple[int, RunSpec]] = []
+        for idx, spec in enumerate(specs):
+            cached = self._load_cached(spec)
+            if cached is not None:
+                records[idx] = cached
+            else:
+                todo.append((idx, spec))
+
+        jobs = self.jobs
+        if jobs is None:
+            jobs = min(multiprocessing.cpu_count(), max(1, len(todo)))
+        if len(todo) <= 1 or jobs <= 1:
+            fresh = [(idx, execute_spec(spec)) for idx, spec in todo]
+        else:
+            payloads = [asdict(spec) for _, spec in todo]
+            with multiprocessing.Pool(processes=min(jobs, len(todo))) as pool:
+                results = pool.map(_execute_spec_dict, payloads)
+            fresh = [
+                (idx, RunRecord(**result))
+                for (idx, _), result in zip(todo, results)
+            ]
+        for (idx, spec), (_, record) in zip(todo, fresh):
+            self._store(record, spec)
+            records[idx] = record
+        return [records[idx] for idx in range(len(specs))]
+
+
+# ----------------------------------------------------------------------
+# grid helpers and artifacts
+# ----------------------------------------------------------------------
+def table2_specs(
+    benchmarks: Optional[Sequence[Tuple[str, int]]] = None,
+    resource_state: str = "3-line",
+    seed: int = 7,
+) -> List[RunSpec]:
+    """Specs for the Table-2 benchmark grid (the default batch)."""
+    from repro.eval.experiments import TABLE_BENCHMARKS
+
+    benchmarks = list(benchmarks or TABLE_BENCHMARKS)
+    return [
+        RunSpec(
+            benchmark=name,
+            num_qubits=n,
+            seed=seed,
+            resource_state=resource_state,
+        )
+        for name, n in benchmarks
+    ]
+
+
+def write_run_table(
+    records: Sequence[RunRecord],
+    out_dir: pathlib.Path,
+    stem: str = "run_table",
+    meta: Optional[Dict] = None,
+) -> Tuple[pathlib.Path, pathlib.Path]:
+    """Persist *records* as ``<stem>.json`` + ``<stem>.csv`` in *out_dir*.
+
+    The JSON carries schema/provenance metadata; the CSV is the flat
+    analysis artifact (one row per run, ``RUN_TABLE_COLUMNS`` order).
+    """
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    rows = [asdict(r) for r in records]
+    json_path = out_dir / f"{stem}.json"
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "columns": RUN_TABLE_COLUMNS,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "meta": meta or {},
+        "records": rows,
+    }
+    json_path.write_text(json.dumps(payload, indent=1, default=str))
+    csv_path = out_dir / f"{stem}.csv"
+    with csv_path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=RUN_TABLE_COLUMNS)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({col: row.get(col) for col in RUN_TABLE_COLUMNS})
+    return json_path, csv_path
+
+
+def write_bench_json(
+    records: Sequence[RunRecord],
+    path: pathlib.Path,
+    label: str,
+    reference: Optional[Dict[str, Dict]] = None,
+) -> pathlib.Path:
+    """Write a ``BENCH_*.json`` perf-trajectory artifact.
+
+    *reference* maps run labels to previously recorded entries (same
+    shape as the emitted ``runs``); when given, per-benchmark speedups
+    against it are included.
+    """
+    path = pathlib.Path(path)
+    runs: Dict[str, Dict] = {}
+    for record in records:
+        runs[record.label] = {
+            "seconds": round(record.seconds, 4),
+            "depth": record.depth,
+            "fusions": record.num_fusions,
+            "mapping_layers": record.mapping_layers,
+            "shuffle_layers": record.shuffle_layers,
+            # stale-timing marker: a cached row's seconds are from the
+            # run that originally produced it, not this invocation
+            "cached": record.cached,
+        }
+    payload: Dict = {
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "runs": runs,
+    }
+    if reference:
+        payload["reference"] = reference
+        speedups = {}
+        identical = True
+        compared = 0
+        for key, run in runs.items():
+            ref = reference.get(key)
+            if not ref:
+                continue
+            for metric in ("depth", "fusions"):
+                if metric in ref:
+                    compared += 1
+                    if ref[metric] != run[metric]:
+                        identical = False
+            if run["seconds"] and ref.get("seconds"):
+                speedups[key] = round(ref["seconds"] / run["seconds"], 2)
+        payload["speedup_vs_reference"] = speedups
+        # None (not true) when the reference shared no comparable metrics
+        # — a vacuous comparison must not read as a verified pass
+        payload["metrics_identical_to_reference"] = (
+            identical if compared else None
+        )
+        payload["metrics_compared"] = compared
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def run_grid(
+    benchmarks: Optional[Sequence[Tuple[str, int]]] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[pathlib.Path] = None,
+    out_dir: Optional[pathlib.Path] = None,
+    stem: str = "run_table",
+    seed: int = 7,
+    resource_state: str = "3-line",
+) -> List[RunRecord]:
+    """One-call batch: Table-2 grid -> records (+ artifacts when asked)."""
+    specs = table2_specs(
+        benchmarks, resource_state=resource_state, seed=seed
+    )
+    runner = BatchRunner(jobs=jobs, cache_dir=cache_dir)
+    records = runner.run(specs)
+    if out_dir is not None:
+        write_run_table(
+            records,
+            out_dir,
+            stem=stem,
+            meta={"grid": "table2", "seed": seed, "resource_state": resource_state},
+        )
+    return records
+
+
+def render_run_records(records: Sequence[RunRecord]) -> str:
+    """Terminal summary of a batch (one line per run)."""
+    lines = []
+    for r in records:
+        origin = "cache" if r.cached else f"{r.seconds:.3f}s"
+        improvement = (
+            f"  depth x{r.depth_improvement:.0f} fusions x{r.fusion_improvement:.0f}"
+            if r.depth_improvement is not None
+            else ""
+        )
+        lines.append(
+            f"{r.label}: depth={r.depth} fusions={r.num_fusions:,} "
+            f"[{origin}]{improvement}"
+        )
+    return "\n".join(lines)

@@ -178,11 +178,12 @@ FIG13_SHAPES: List[Tuple[float, Tuple[int, int]]] = [
 def run_fig13(
     num_qubits: int = 16,
     benchmarks: Sequence[str] = ("QFT", "QAOA", "RCA", "BV"),
+    seed: int = 7,
 ) -> Dict[str, Dict[float, CompiledProgram]]:
     """OneQ on rectangular layers, keyed benchmark -> ratio (Fig. 13)."""
     out: Dict[str, Dict[float, CompiledProgram]] = {}
     for bench in benchmarks:
-        circuit = get_benchmark(bench, num_qubits)
+        circuit = get_benchmark(bench, num_qubits, seed=seed)
         per_ratio: Dict[float, CompiledProgram] = {}
         for ratio, (rows, cols) in FIG13_SHAPES:
             hardware = HardwareConfig(rows=rows, cols=cols)
@@ -201,11 +202,12 @@ def run_fig15(
     num_qubits: int = 16,
     benchmarks: Sequence[str] = ("QFT", "QAOA", "RCA", "BV"),
     areas: Sequence[int] = (100, 200, 256, 400, 600, 800, 1000),
+    seed: int = 7,
 ) -> Dict[str, Dict[int, CompiledProgram]]:
     """OneQ across physical areas (Fig. 15; 256 is the baseline area)."""
     out: Dict[str, Dict[int, CompiledProgram]] = {}
     for bench in benchmarks:
-        circuit = get_benchmark(bench, num_qubits)
+        circuit = get_benchmark(bench, num_qubits, seed=seed)
         per_area: Dict[int, CompiledProgram] = {}
         for area in areas:
             hardware = HardwareConfig.with_area(area)
@@ -288,10 +290,10 @@ def run_ablation(
 # Figure 14: extended physical layers
 # ----------------------------------------------------------------------
 def run_fig14(
-    num_qubits: int = 16, side: int = 13, extension: int = 3
+    num_qubits: int = 16, side: int = 13, extension: int = 3, seed: int = 7
 ) -> CompiledProgram:
     """QFT mapping on an extended layer (Fig. 14: 3 x 13x13 -> 13x39)."""
-    circuit = get_benchmark("QFT", num_qubits)
+    circuit = get_benchmark("QFT", num_qubits, seed=seed)
     hardware = HardwareConfig(rows=side, cols=side, extension=extension)
     compiler = OneQCompiler(OneQConfig(hardware=hardware))
     return compiler.compile(circuit, name=f"QFT-{num_qubits}-ext{extension}")

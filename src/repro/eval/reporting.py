@@ -122,6 +122,39 @@ def render_fig13(results: Dict[str, Dict[float, CompiledProgram]]) -> str:
     )
 
 
+def render_fig14(program: CompiledProgram) -> str:
+    """Fig. 14: one benchmark mapped onto an extended physical layer."""
+    return (
+        f"{program.name}: extension={program.extension} "
+        f"mapping_layers={program.mapping_layers} "
+        f"shuffle_layers={program.shuffle_layers} "
+        f"physical depth={program.physical_depth} "
+        f"fusions={program.num_fusions:,}"
+    )
+
+
+def render_ablation(results: Dict[str, CompiledProgram]) -> str:
+    """Compiler-variant ablation: depth/#fusions per variant."""
+    base = results.get("default")
+    rows = []
+    for variant, prog in results.items():
+        cells = [
+            variant,
+            prog.physical_depth,
+            f"{prog.num_fusions:,}",
+        ]
+        if base is not None:
+            cells += [
+                f"{prog.physical_depth / max(1, base.physical_depth):.2f}",
+                f"{prog.num_fusions / max(1, base.num_fusions):.2f}",
+            ]
+        rows.append(cells)
+    headers = ["variant", "depth", "#fusions"]
+    if base is not None:
+        headers += ["depth/default", "fusions/default"]
+    return _table(headers, rows)
+
+
 def render_fig15(
     results: Dict[str, Dict[int, CompiledProgram]], base_area: int = 256
 ) -> str:

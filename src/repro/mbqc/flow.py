@@ -11,7 +11,8 @@ gates execute simultaneously.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from collections import deque
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.mbqc.pattern import MeasurementPattern
 
@@ -82,29 +83,36 @@ def scheduling_ranks(pattern: MeasurementPattern) -> Dict[int, int]:
     its blocking sources (every dependency source has a strictly smaller
     rank, which is stronger than Lemma 1).
     """
-    rank: Dict[int, int] = {}
-
-    def deps_of(node: int) -> FrozenSet[int]:
+    # Kahn-style longest-path ranking: dependencies are merged once per
+    # node and each edge is relaxed once, instead of re-scanning every
+    # unranked node per fixed-point round (quadratic on deep patterns).
+    deps: Dict[int, Set[int]] = {}
+    dependents: Dict[int, List[int]] = {}
+    for node in pattern.graph.nodes():
         merged = set(pattern.x_deps.get(node, frozenset()))
         merged |= pattern.z_deps.get(node, frozenset())
         merged |= pattern.output_x.get(node, frozenset())
         merged |= pattern.output_z.get(node, frozenset())
         merged.discard(node)
-        return frozenset(merged)
-
-    remaining = set(pattern.graph.nodes())
-    while remaining:
-        progressed = []
-        for node in remaining:
-            sources = deps_of(node)
-            if all(src in rank for src in sources):
-                rank[node] = 1 + max(
-                    (rank[src] for src in sources), default=-1
-                )
-                progressed.append(node)
-        if not progressed:
-            raise RuntimeError("cycle in raw dependency DAG")
-        remaining -= set(progressed)
+        deps[node] = merged
+    for node, sources in deps.items():
+        for src in sources:
+            if src in deps:
+                dependents.setdefault(src, []).append(node)
+    indegree = {node: len(sources) for node, sources in deps.items()}
+    ready = deque(node for node, deg in indegree.items() if deg == 0)
+    rank: Dict[int, int] = {}
+    while ready:
+        node = ready.popleft()
+        rank[node] = 1 + max(
+            (rank[src] for src in deps[node]), default=-1
+        )
+        for dependent in dependents.get(node, ()):
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                ready.append(dependent)
+    if len(rank) != len(deps):
+        raise RuntimeError("cycle in raw dependency DAG")
     return rank
 
 

@@ -3,9 +3,29 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from functools import lru_cache
+from typing import Dict, Iterable, List, Tuple
 
 Coord = Tuple[int, int]
+
+
+@lru_cache(maxsize=None)
+def grid_neighbor_table(shape: Tuple[int, int]) -> Dict[Coord, List[Coord]]:
+    """4-neighbour adjacency for every cell of a *shape* grid.
+
+    Cached per shape and shared by all grid consumers (mapper layers,
+    shuffle layers) so hot BFS loops avoid recomputing bounds checks.
+    """
+    rows, cols = shape
+    return {
+        (r, c): [
+            (rr, cc)
+            for rr, cc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1))
+            if 0 <= rr < rows and 0 <= cc < cols
+        ]
+        for r in range(rows)
+        for c in range(cols)
+    }
 
 
 @dataclass(frozen=True)

@@ -35,6 +35,12 @@ class TestExport:
     def test_identity_named_id(self):
         assert "id q[0];" in to_qasm(Circuit(1).i(0))
 
+    def test_phase_gate_emitted_as_u1(self):
+        """``p`` is not in qelib1.inc: it must export as ``u1``."""
+        text = to_qasm(Circuit(1).p(math.pi / 4, 0))
+        assert "u1(pi/4) q[0];" in text
+        assert "\np(" not in text and not text.startswith("p(")
+
 
 class TestImport:
     def test_roundtrip_simple(self):
@@ -86,6 +92,15 @@ class TestImport:
     def test_u1_alias(self):
         c = from_qasm("OPENQASM 2.0;\nqreg q[1];\nu1(0.5) q[0];\n")
         assert c.gates[0].name == "p"
+
+    def test_phase_gate_roundtrip(self):
+        """p exports as u1 and re-imports as p, semantics preserved."""
+        c = Circuit(2).h(0).p(0.7, 0).cx(0, 1).p(math.pi / 8, 1)
+        back = from_qasm(to_qasm(c))
+        assert back == c
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(c), circuit_unitary(back)
+        )
 
     def test_missing_qreg_rejected(self):
         with pytest.raises(ValueError, match="qreg"):

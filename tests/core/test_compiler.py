@@ -142,3 +142,61 @@ class TestConfigPlumb:
             OneQConfig(hardware=small_hardware, alpha=10.0)
         ).compile(qft(3))
         assert prog.num_fusions > 0
+
+    def test_route_targets_limit_plumbed(self, small_hardware):
+        """The previously hardcoded routed-candidate cap is configurable."""
+        from repro.core.mapping import InLayerMapper
+
+        cfg = OneQConfig(hardware=small_hardware, route_targets_limit=1)
+
+        def targets(limit):
+            mapper = InLayerMapper(
+                shape=cfg.hardware.extended_shape,
+                resource_state=cfg.hardware.resource_state,
+                route_targets_limit=limit,
+            )
+            mapper._open_layer()
+            return mapper._routed_targets((4, 4), needed=1)
+
+        # the cap is checked per BFS expansion (seed semantics), so it
+        # bounds growth rather than the exact count
+        assert len(targets(1)) < len(targets(6))
+        prog = OneQCompiler(cfg).compile(qft(4))
+        assert prog.num_fusions > 0
+
+    def test_connect_radius_plumbed(self, small_hardware):
+        """Bounding placed-to-placed routing defers long in-layer routes."""
+        c = qft(6)
+        unbounded = OneQCompiler(
+            OneQConfig(hardware=small_hardware)
+        ).compile(c)
+        bounded = OneQCompiler(
+            OneQConfig(hardware=small_hardware, connect_radius=1)
+        ).compile(c)
+        assert bounded.fusions.routing <= unbounded.fusions.routing
+        assert bounded.num_fusions > 0
+
+
+class TestPhotonBudget:
+    def test_settle_balance_positive(self):
+        from repro.core.compiler import settle_photon_budget
+
+        z, deficit = settle_photon_budget(photons=10, consumed=4)
+        assert (z, deficit) == (6, 0)
+
+    def test_settle_deficit_recorded_and_warned(self):
+        from repro.core.compiler import settle_photon_budget
+
+        with pytest.warns(RuntimeWarning, match="deficit of 3"):
+            z, deficit = settle_photon_budget(photons=4, consumed=7, name="x")
+        assert (z, deficit) == (0, 3)
+
+    def test_compiled_programs_balance(self, small_hardware):
+        """Real compiles must never run a (silently clamped) deficit."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            prog = compile_circuit(qft(6), small_hardware)
+        assert prog.photon_deficit == 0
+        assert prog.fusions.z_measurements >= 0

@@ -14,10 +14,12 @@ class TestShuffleLayer:
         assert path[-1] == (0, 3)
         assert len(path) == 4
 
-    def test_same_cell(self):
-        layer = ShuffleLayer(shape=(4, 4))
-        path = layer.try_route((2, 2), (2, 2))
-        assert path == [(2, 2)]
+    def test_same_cell_handled_by_connect_pairs(self):
+        """a == b never reaches try_route: connect_pairs short-circuits
+        it into a pure temporal fusion without consuming shuffle cells."""
+        result = connect_pairs([((2, 2), (2, 2))], (4, 4))
+        assert result.fusions == 1
+        assert result.num_layers == 0
 
     def test_blocked_endpoint(self):
         layer = ShuffleLayer(shape=(4, 4))
@@ -76,3 +78,26 @@ class TestConnectPairs:
         b = connect_pairs(pairs, (6, 6))
         assert a.fusions == b.fusions
         assert a.num_layers == b.num_layers
+
+    def test_cost_model_accounting(self):
+        """Fusion/aux accounting matches the documented cost model:
+
+        * same-cell pair: 1 temporal fusion, no cells used;
+        * distinct pair: 2 temporal + (len(path) - 1) spatial fusions,
+          every traversed cell is one single-use auxiliary state.
+        """
+        pairs = [
+            ((1, 1), (1, 1)),          # temporal only
+            ((0, 0), (0, 2)),          # path of 3 cells, 2 segments
+            ((3, 0), (3, 4)),          # path of 5 cells, 4 segments
+        ]
+        result = connect_pairs(pairs, (6, 6))
+        assert result.connected == 3
+        paths = [p for layer in result.layers for p in layer.paths]
+        expected_spatial = sum(len(p) - 1 for p in paths)
+        assert result.fusions == 1 + 2 * len(paths) + expected_spatial
+        # aux accounting: each traversed cell is used exactly once
+        for layer in result.layers:
+            cells = [c for p in layer.paths for c in p]
+            assert len(cells) == len(set(cells))
+            assert layer.used == set(cells)

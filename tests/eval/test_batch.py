@@ -1,0 +1,148 @@
+"""Tests for the batch experiment runner and its artifacts."""
+
+import csv
+import json
+
+import pytest
+
+from repro.eval.batch import (
+    RUN_TABLE_COLUMNS,
+    BatchRunner,
+    RunSpec,
+    execute_spec,
+    render_run_records,
+    run_grid,
+    table2_specs,
+    write_bench_json,
+    write_run_table,
+)
+from repro.eval.experiments import TABLE_BENCHMARKS, compare_one
+
+QUICK = [("BV", 8), ("BV", 12)]
+
+
+class TestRunSpec:
+    def test_key_stable_and_distinct(self):
+        a = RunSpec("BV", 8)
+        b = RunSpec("BV", 8)
+        c = RunSpec("BV", 12)
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+
+    def test_key_sensitive_to_compiler_options(self):
+        a = RunSpec("BV", 8)
+        b = RunSpec("BV", 8, compiler_options=(("alpha", 2.0),))
+        assert a.key() != b.key()
+
+    def test_table2_specs_cover_grid(self):
+        specs = table2_specs()
+        assert [(s.benchmark, s.num_qubits) for s in specs] == TABLE_BENCHMARKS
+
+
+class TestExecuteSpec:
+    def test_matches_compare_one(self):
+        """The batch path reproduces the interactive path exactly."""
+        record = execute_spec(RunSpec("BV", 16))
+        row = compare_one("BV", 16)
+        assert record.depth == row.oneq.physical_depth
+        assert record.num_fusions == row.oneq.num_fusions
+        assert record.baseline_depth == row.baseline.depth
+        assert record.baseline_fusions == row.baseline.num_fusions
+        assert record.depth_improvement == pytest.approx(row.depth_improvement)
+
+    def test_no_baseline(self):
+        record = execute_spec(RunSpec("BV", 8, include_baseline=False))
+        assert record.baseline_depth is None
+        assert record.depth_improvement is None
+        assert record.depth >= 1
+
+    def test_compiler_options_forwarded(self):
+        plain = execute_spec(RunSpec("QFT", 8))
+        hintless = execute_spec(
+            RunSpec("QFT", 8, compiler_options=(("use_placement_hints", False),))
+        )
+        # the option must reach the compiler; metrics differ for QFT
+        assert (plain.depth, plain.num_fusions) != (
+            hintless.depth,
+            hintless.num_fusions,
+        )
+
+
+class TestBatchRunner:
+    def test_serial_run_preserves_order(self):
+        records = BatchRunner(jobs=1).run([RunSpec(n, q) for n, q in QUICK])
+        assert [(r.benchmark, r.num_qubits) for r in records] == QUICK
+        assert all(not r.cached for r in records)
+
+    def test_parallel_matches_serial(self):
+        specs = [RunSpec(n, q) for n, q in QUICK]
+        serial = BatchRunner(jobs=1).run(specs)
+        parallel = BatchRunner(jobs=2).run(specs)
+        for a, b in zip(serial, parallel):
+            assert a.depth == b.depth
+            assert a.num_fusions == b.num_fusions
+            assert a.key == b.key
+
+    def test_cache_roundtrip(self, tmp_path):
+        specs = [RunSpec("BV", 8)]
+        first = BatchRunner(jobs=1, cache_dir=tmp_path).run(specs)
+        assert not first[0].cached
+        assert (tmp_path / f"{specs[0].key()}.json").exists()
+        second = BatchRunner(jobs=1, cache_dir=tmp_path).run(specs)
+        assert second[0].cached
+        assert second[0].depth == first[0].depth
+        assert second[0].num_fusions == first[0].num_fusions
+
+    def test_corrupt_cache_recomputed(self, tmp_path):
+        spec = RunSpec("BV", 8)
+        (tmp_path / f"{spec.key()}.json").write_text("not json")
+        records = BatchRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        assert not records[0].cached
+        assert records[0].depth >= 1
+
+
+class TestArtifacts:
+    def test_run_table_json_and_csv(self, tmp_path):
+        records = BatchRunner(jobs=1).run([RunSpec(n, q) for n, q in QUICK])
+        json_path, csv_path = write_run_table(
+            records, tmp_path, meta={"grid": "test"}
+        )
+        payload = json.loads(json_path.read_text())
+        assert payload["columns"] == RUN_TABLE_COLUMNS
+        assert payload["meta"] == {"grid": "test"}
+        assert len(payload["records"]) == len(QUICK)
+        with csv_path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(QUICK)
+        assert set(rows[0].keys()) == set(RUN_TABLE_COLUMNS)
+        assert rows[0]["benchmark"] == "BV"
+        assert int(rows[0]["depth"]) == records[0].depth
+
+    def test_bench_json_with_reference(self, tmp_path):
+        records = BatchRunner(jobs=1).run([RunSpec("BV", 8)])
+        first = write_bench_json(records, tmp_path / "BENCH_a.json", "a")
+        reference = json.loads(first.read_text())["runs"]
+        second = write_bench_json(
+            records, tmp_path / "BENCH_b.json", "b", reference=reference
+        )
+        payload = json.loads(second.read_text())
+        assert payload["label"] == "b"
+        assert payload["metrics_identical_to_reference"] is True
+        assert "BV-8" in payload["speedup_vs_reference"]
+
+    def test_run_grid_writes_artifacts(self, tmp_path):
+        records = run_grid(
+            benchmarks=QUICK,
+            jobs=1,
+            cache_dir=tmp_path / "cache",
+            out_dir=tmp_path / "out",
+        )
+        assert len(records) == len(QUICK)
+        assert (tmp_path / "out" / "run_table.json").exists()
+        assert (tmp_path / "out" / "run_table.csv").exists()
+
+    def test_render_run_records(self):
+        records = BatchRunner(jobs=1).run([RunSpec("BV", 8)])
+        text = render_run_records(records)
+        assert "BV-8" in text
+        assert "depth=" in text

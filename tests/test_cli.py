@@ -68,3 +68,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "BV-16" in out
         assert "Improv." in out
+
+    def test_fig13_quick_restricts_benchmarks(self, capsys):
+        assert main(["fig13", "--qubits", "6", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "QFT" in out and "BV" in out
+        assert "QAOA" not in out and "RCA" not in out
+
+    def test_fig14(self, capsys):
+        assert main(["fig14", "--qubits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "extension=3" in out
+        assert "depth=" in out
+
+    def test_ablation(self, capsys):
+        assert main(["ablation", "--qubits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "default" in out
+        assert "no-embedding" in out
+        assert "lemma1-scheduling" in out
+
+    def test_bench_quick(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert main(
+            [
+                "bench", "--quick", "--jobs", "1",
+                "--out", str(out_dir), "--cache", str(tmp_path / "cache"),
+                "--label", "test",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "QFT-16" in out and "BV-16" in out
+        assert (out_dir / "run_table.json").exists()
+        assert (out_dir / "run_table.csv").exists()
+        assert (out_dir / "BENCH_test.json").exists()
+
+    def test_bench_cache_reused(self, tmp_path, capsys):
+        args = [
+            "bench", "--quick", "--jobs", "1",
+            "--out", str(tmp_path / "results"),
+            "--cache", str(tmp_path / "cache"), "--label", "test",
+        ]
+        main(args)
+        capsys.readouterr()
+        main(args)
+        assert "[cache]" in capsys.readouterr().out
