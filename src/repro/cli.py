@@ -172,6 +172,7 @@ def cmd_bench(args) -> int:
         stem=args.stem,
         seed=args.seed,
         resource_state=args.resource_state,
+        verify=args.verify,
     )
     reference = None
     if args.reference:
@@ -190,8 +191,14 @@ def cmd_bench(args) -> int:
         reference=reference,
     )
     print(evaluation.render_run_records(records))
+    if args.profile:
+        print()
+        print(evaluation.render_stage_profile(records))
     print(f"run table: {out_dir / (args.stem + '.json')}")
     print(f"bench:     {bench_path}")
+    if args.verify and any(r.verified is False for r in records):
+        print("error: verification failed for at least one run", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -258,6 +265,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["3-line", "4-line", "4-star", "4-ring"],
     )
     p.add_argument("--quick", action="store_true", help="16-qubit rows only")
+    p.add_argument(
+        "--verify", action="store_true",
+        help="semantically verify each compiled pattern against its "
+        "circuit (stabilizer engine for Clifford patterns, dense "
+        "simulator for small ones)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="print the per-stage (translate/schedule/partition/map/"
+        "shuffle/verify) timing breakdown",
+    )
 
     return parser
 

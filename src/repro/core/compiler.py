@@ -13,6 +13,7 @@ The two paper metrics fall out of the mapping:
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
@@ -25,6 +26,7 @@ from repro.core.partition import (
     PartitionConfig,
     partition_pattern,
     required_degrees,
+    schedule_layers,
 )
 from repro.core.shuffling import connect_pairs
 from repro.hardware.coupling import HardwareConfig
@@ -76,6 +78,9 @@ class CompiledProgram:
     #: photons consumed beyond those supplied by resource states; a
     #: non-zero value flags a bookkeeping bug (see ``z_measurements``)
     photon_deficit: int = 0
+    #: wall seconds per pipeline stage (translate / schedule / partition /
+    #: map / shuffle), filled by the compiler for ``bench --profile``
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def physical_depth(self) -> int:
@@ -130,8 +135,14 @@ class OneQCompiler:
     # ------------------------------------------------------------------
     def compile(self, circuit: Circuit, name: str = "circuit") -> CompiledProgram:
         """Full flow from a gate circuit."""
+        t0 = time.perf_counter()
         pattern = circuit_to_pattern(circuit)
-        return self.compile_pattern(pattern, name=name, num_qubits=circuit.num_qubits)
+        translate_seconds = time.perf_counter() - t0
+        program = self.compile_pattern(
+            pattern, name=name, num_qubits=circuit.num_qubits
+        )
+        program.stage_seconds["translate"] = translate_seconds
+        return program
 
     def compile_pattern(
         self,
@@ -155,7 +166,15 @@ class OneQCompiler:
         estimator = lambda node: rst.states_for_degree(  # noqa: E731
             pattern.graph.degree(node)
         )
-        partitions = partition_pattern(pattern, part_cfg, size_estimator=estimator)
+        stage_seconds: Dict[str, float] = {}
+        t0 = time.perf_counter()
+        layers = schedule_layers(pattern, part_cfg)
+        stage_seconds["schedule"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        partitions = partition_pattern(
+            pattern, part_cfg, size_estimator=estimator, layers=layers
+        )
+        stage_seconds["partition"] = time.perf_counter() - t0
         home: Dict[int, int] = {}
         for part in partitions:
             for node in part.nodes:
@@ -175,6 +194,7 @@ class OneQCompiler:
         deferred: List[Tuple[FGNode, FGNode]] = []
         resource_states = 0
 
+        t0 = time.perf_counter()
         for part in partitions:
             cross_nbrs = {
                 node: [
@@ -210,8 +230,10 @@ class OneQCompiler:
             tally.add("edge", result.edge_fusions)
             tally.add("routing", result.routing_fusions)
             deferred.extend(result.deferred_edges)
+        stage_seconds["map"] = time.perf_counter() - t0
 
         # ---- inter-layer shuffling -----------------------------------
+        t0 = time.perf_counter()
         pairs_by_boundary: Dict[int, List[Tuple[Tuple[int, int], Tuple[int, int]]]] = {}
 
         def add_pair(pa: Placement, pb: Placement) -> None:
@@ -236,6 +258,7 @@ class OneQCompiler:
             tally.add("shuffling", result.fusions)
             shuffle_layers += result.num_layers
             resource_states += sum(len(l.used) for l in result.layers)
+        stage_seconds["shuffle"] = time.perf_counter() - t0
 
         # ---- photon bookkeeping --------------------------------------
         aux_cells = sum(len(l.aux_cells) for l in mapper.layers)
@@ -260,6 +283,7 @@ class OneQCompiler:
             resource_states_used=resource_states,
             deferred_pairs=sum(len(v) for v in pairs_by_boundary.values()),
             photon_deficit=photon_deficit,
+            stage_seconds=stage_seconds,
         )
 
 

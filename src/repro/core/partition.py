@@ -81,10 +81,20 @@ class GraphPartition:
         return self.subgraph.number_of_edges()
 
 
+def schedule_layers(
+    pattern: MeasurementPattern, config: PartitionConfig = PartitionConfig()
+) -> List[List[int]]:
+    """The scheduling stage alone: executability layers per config."""
+    if config.scheduling == "flow":
+        return rank_layers(pattern)
+    return dependency_layers(pattern)
+
+
 def partition_pattern(
     pattern: MeasurementPattern,
     config: PartitionConfig = PartitionConfig(),
     size_estimator=None,
+    layers: Optional[List[List[int]]] = None,
 ) -> List[GraphPartition]:
     """Partition *pattern*'s graph state by executability order.
 
@@ -94,12 +104,12 @@ def partition_pattern(
 
     ``size_estimator(node) -> int`` estimates the resource states a node
     will synthesize into (used with ``config.target_states``; defaults to
-    one state per node).
+    one state per node).  ``layers`` lets callers pass the
+    :func:`schedule_layers` result in (the compiler times scheduling and
+    partitioning separately for ``bench --profile``).
     """
-    if config.scheduling == "flow":
-        layers = rank_layers(pattern)
-    else:
-        layers = dependency_layers(pattern)
+    if layers is None:
+        layers = schedule_layers(pattern, config)
     if size_estimator is None:
         size_estimator = lambda node: 1  # noqa: E731 - trivial default
     graph = pattern.graph

@@ -1,26 +1,37 @@
-"""Post-compilation validation against the hardware model.
+"""Post-compilation validation against the hardware and circuit model.
 
 The mapper tracks its own occupancy while placing; this module re-checks
 the finished layouts against first principles — the formal coupling
 graph of Sec. 3.1 and the photon budget of the resource states — so a
 mapper bug cannot silently emit an unimplementable program.
 
-Checks:
+Hardware checks:
 
 * every cell hosts at most one resource state (node or auxiliary);
 * every recorded fusion path steps along lattice-adjacent cells;
 * no resource state participates in more fusions than it has photons;
 * auxiliary cells carry exactly one path (small-resource-state planarity
   constraint, Sec. 3.2 'Additional Challenge').
+
+Semantic checks (:func:`verify_pattern`): the translated measurement
+pattern must implement the source circuit.  The engine is picked
+automatically — Clifford-dominated patterns (every measurement at a
+Pauli angle) run on the bit-packed stabilizer engine, which scales to
+hundreds of qubits; everything else falls back to the dense pattern
+simulator when the output register is small enough.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
+from repro.circuit.circuit import Circuit
 from repro.core.compiler import CompiledProgram
 from repro.core.mapping import LayerLayout
 from repro.hardware.coupling import HardwareConfig
+from repro.mbqc.pattern import MeasurementPattern
 
 Coord = Tuple[int, int]
 
@@ -105,3 +116,117 @@ def assert_valid(program: CompiledProgram, hardware: HardwareConfig) -> None:
         raise ValidationError(
             f"{len(errors)} hardware violations; first: {errors[0]}"
         )
+
+
+# ----------------------------------------------------------------------
+# semantic verification: pattern implements circuit
+# ----------------------------------------------------------------------
+@dataclass
+class PatternVerification:
+    """Result of one :func:`verify_pattern` call.
+
+    ``ok`` is ``None`` when no engine could handle the instance
+    (``method == "skipped"``) — a skip must never read as a pass.
+    """
+
+    ok: Optional[bool]
+    method: str  # "stabilizer" | "statevector" | "skipped"
+    seconds: float = 0.0
+    detail: str = ""
+
+
+def _verify_stabilizer(
+    circuit: Circuit, pattern: MeasurementPattern, seed: Optional[int]
+) -> Tuple[bool, str]:
+    """Check the pattern's output state against the circuit's on the CHP
+    engine.
+
+    The pattern runs on the full tableau (one random outcome branch); a
+    measured node ends disentangled, so the reduced output state is pure
+    and fully determined by its stabilizer group.  It equals the circuit
+    state iff every generator of the circuit's output stabilizer group,
+    lifted onto the output qubits of the big tableau, is a deterministic
+    ``+1``-with-recorded-sign measurement there — ``n`` independent
+    generators on ``n`` output qubits pin the reduced state exactly.
+    """
+    from repro.sim.pattern_sim import StabilizerPatternSimulator
+    from repro.sim.stabilizer import StabilizerState
+
+    if len(pattern.outputs) != circuit.num_qubits:
+        return False, (
+            f"pattern has {len(pattern.outputs)} outputs for a "
+            f"{circuit.num_qubits}-qubit circuit"
+        )
+    circuit_state = StabilizerState(circuit.num_qubits)
+    circuit_state.apply_circuit(circuit)
+    result = StabilizerPatternSimulator(pattern, seed=seed).run()
+    for wire, (gx, gz, gr) in enumerate(circuit_state.stabilizer_rows()):
+        pauli = result.output_pauli(pattern.outputs, gx, gz)
+        expected = result.state.expectation(pauli)
+        if expected != gr:
+            got = "random" if expected is None else f"sign {expected}"
+            return False, (
+                f"circuit stabilizer generator {wire} does not hold on the "
+                f"pattern output state (expected sign {gr}, got {got})"
+            )
+    return True, (
+        f"{circuit.num_qubits} circuit stabilizers hold on the "
+        f"{result.state.n}-node tableau"
+    )
+
+
+def _verify_statevector(
+    circuit: Circuit, pattern: MeasurementPattern, seed: Optional[int]
+) -> Tuple[bool, str]:
+    from repro.sim.pattern_sim import simulate_pattern
+    from repro.sim.statevector import fidelity, simulate, states_equal_up_to_phase
+
+    reference = simulate(circuit)
+    result = simulate_pattern(pattern, seed=seed)
+    ok = states_equal_up_to_phase(reference, result.state)
+    return ok, f"fidelity={fidelity(reference, result.state):.6f}"
+
+
+def verify_pattern(
+    circuit: Circuit,
+    pattern: Optional[MeasurementPattern] = None,
+    seed: Optional[int] = 7,
+    max_dense_outputs: int = 12,
+) -> PatternVerification:
+    """Check that *pattern* (default: the translation of *circuit*)
+    implements *circuit*, auto-selecting the verification engine.
+
+    Clifford patterns go to the stabilizer engine regardless of size;
+    non-Clifford patterns use the dense pattern simulator when the output
+    register has at most ``max_dense_outputs`` qubits, and are reported
+    as ``skipped`` (``ok=None``) otherwise.
+    """
+    from repro.mbqc.translate import circuit_to_pattern
+    from repro.sim.pattern_sim import pattern_is_clifford
+    from repro.sim.stabilizer import circuit_is_clifford
+
+    t0 = time.perf_counter()
+    if pattern is None:
+        pattern = circuit_to_pattern(circuit)
+    if pattern_is_clifford(pattern) and circuit_is_clifford(circuit):
+        ok, detail = _verify_stabilizer(circuit, pattern, seed)
+        return PatternVerification(
+            ok, "stabilizer", time.perf_counter() - t0, detail
+        )
+    if len(pattern.outputs) <= max_dense_outputs:
+        try:
+            ok, detail = _verify_statevector(circuit, pattern, seed)
+        except RuntimeError as exc:  # active-window blowup and kin
+            return PatternVerification(
+                None, "skipped", time.perf_counter() - t0, str(exc)
+            )
+        return PatternVerification(
+            ok, "statevector", time.perf_counter() - t0, detail
+        )
+    return PatternVerification(
+        None,
+        "skipped",
+        time.perf_counter() - t0,
+        f"{len(pattern.outputs)} outputs exceed the dense limit "
+        f"({max_dense_outputs}) and no exact engine applies",
+    )

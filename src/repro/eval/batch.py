@@ -28,7 +28,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Run-table columns, in on-disk CSV order.  Meanings:
 #:   key                 content hash of the spec (cache identity)
@@ -43,6 +43,12 @@ SCHEMA_VERSION = 1
 #:       area (absent when the spec disables the baseline)
 #:   depth_improvement/fusion_improvement   baseline / OneQ ratios
 #:   seconds   OneQ compile wall time;  baseline_seconds   baseline time
+#:   translate/schedule/partition/map/shuffle_seconds   per-stage compile
+#:       breakdown (``bench --profile`` renders these)
+#:   verified/verify_method/verify_seconds   semantic verification stage
+#:       (``verify=True`` specs): did the compiled pattern implement the
+#:       circuit, which engine checked it (stabilizer for Clifford
+#:       patterns, statevector for small dense ones, skipped otherwise)
 #:   cached    True when the row came from the on-disk cache
 RUN_TABLE_COLUMNS: List[str] = [
     "key",
@@ -74,8 +80,22 @@ RUN_TABLE_COLUMNS: List[str] = [
     "fusion_improvement",
     "seconds",
     "baseline_seconds",
+    "translate_seconds",
+    "schedule_seconds",
+    "partition_seconds",
+    "map_seconds",
+    "shuffle_seconds",
+    "verified",
+    "verify_method",
+    "verify_seconds",
     "cached",
 ]
+
+#: compile stages reported by ``CompiledProgram.stage_seconds``, in
+#: pipeline order (the ``verify`` stage is appended by ``execute_spec``)
+PROFILE_STAGES: Tuple[str, ...] = (
+    "translate", "schedule", "partition", "map", "shuffle",
+)
 
 
 @dataclass(frozen=True)
@@ -90,6 +110,9 @@ class RunSpec:
     area: Optional[int] = None
     extension: int = 1
     include_baseline: bool = True
+    #: semantically verify the compiled pattern against the circuit
+    #: (auto-picking the stabilizer or statevector engine)
+    verify: bool = False
     #: extra ``OneQConfig`` kwargs as a sorted tuple of (name, value)
     compiler_options: Tuple[Tuple[str, object], ...] = ()
 
@@ -140,6 +163,14 @@ class RunRecord:
     fusion_improvement: Optional[float] = None
     seconds: float = 0.0
     baseline_seconds: float = 0.0
+    translate_seconds: float = 0.0
+    schedule_seconds: float = 0.0
+    partition_seconds: float = 0.0
+    map_seconds: float = 0.0
+    shuffle_seconds: float = 0.0
+    verified: Optional[bool] = None
+    verify_method: Optional[str] = None
+    verify_seconds: float = 0.0
     cached: bool = False
 
     @property
@@ -154,6 +185,7 @@ def execute_spec(spec: RunSpec) -> RunRecord:
     from repro.core.compiler import OneQCompiler, OneQConfig
     from repro.eval.experiments import _hardware_for
     from repro.hardware.resource_state import get_resource_state
+    from repro.mbqc.translate import circuit_to_pattern
 
     rst = get_resource_state(spec.resource_state)
     circuit = get_benchmark(spec.benchmark, spec.num_qubits, seed=spec.seed)
@@ -167,9 +199,27 @@ def execute_spec(spec: RunSpec) -> RunRecord:
     compiler = OneQCompiler(
         OneQConfig(hardware=hardware, **dict(spec.compiler_options))
     )
+    # translate once: the compiler consumes the pattern and the verify
+    # stage re-checks the same pattern against the circuit
     t0 = time.perf_counter()
-    program = compiler.compile(circuit, name=spec.label)
-    oneq_seconds = time.perf_counter() - t0
+    pattern = circuit_to_pattern(circuit)
+    translate_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    program = compiler.compile_pattern(
+        pattern, name=spec.label, num_qubits=circuit.num_qubits
+    )
+    oneq_seconds = translate_seconds + time.perf_counter() - t0
+    program.stage_seconds["translate"] = translate_seconds
+
+    verified = verify_method = None
+    verify_seconds = 0.0
+    if spec.verify:
+        from repro.core.validate import verify_pattern
+
+        report = verify_pattern(circuit, pattern=pattern, seed=spec.seed)
+        verified = report.ok
+        verify_method = report.method
+        verify_seconds = report.seconds
 
     baseline_depth = baseline_fusions = None
     depth_improvement = fusion_improvement = None
@@ -216,6 +266,14 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         fusion_improvement=fusion_improvement,
         seconds=oneq_seconds,
         baseline_seconds=baseline_seconds,
+        translate_seconds=program.stage_seconds.get("translate", 0.0),
+        schedule_seconds=program.stage_seconds.get("schedule", 0.0),
+        partition_seconds=program.stage_seconds.get("partition", 0.0),
+        map_seconds=program.stage_seconds.get("map", 0.0),
+        shuffle_seconds=program.stage_seconds.get("shuffle", 0.0),
+        verified=verified,
+        verify_method=verify_method,
+        verify_seconds=verify_seconds,
     )
 
 
@@ -320,6 +378,7 @@ def table2_specs(
     benchmarks: Optional[Sequence[Tuple[str, int]]] = None,
     resource_state: str = "3-line",
     seed: int = 7,
+    verify: bool = False,
 ) -> List[RunSpec]:
     """Specs for the Table-2 benchmark grid (the default batch)."""
     from repro.eval.experiments import TABLE_BENCHMARKS
@@ -331,6 +390,7 @@ def table2_specs(
             num_qubits=n,
             seed=seed,
             resource_state=resource_state,
+            verify=verify,
         )
         for name, n in benchmarks
     ]
@@ -435,10 +495,11 @@ def run_grid(
     stem: str = "run_table",
     seed: int = 7,
     resource_state: str = "3-line",
+    verify: bool = False,
 ) -> List[RunRecord]:
     """One-call batch: Table-2 grid -> records (+ artifacts when asked)."""
     specs = table2_specs(
-        benchmarks, resource_state=resource_state, seed=seed
+        benchmarks, resource_state=resource_state, seed=seed, verify=verify
     )
     runner = BatchRunner(jobs=jobs, cache_dir=cache_dir)
     records = runner.run(specs)
@@ -447,7 +508,12 @@ def run_grid(
             records,
             out_dir,
             stem=stem,
-            meta={"grid": "table2", "seed": seed, "resource_state": resource_state},
+            meta={
+                "grid": "table2",
+                "seed": seed,
+                "resource_state": resource_state,
+                "verify": verify,
+            },
         )
     return records
 
@@ -462,8 +528,36 @@ def render_run_records(records: Sequence[RunRecord]) -> str:
             if r.depth_improvement is not None
             else ""
         )
+        verify = ""
+        if r.verify_method == "skipped":
+            verify = "  verify=skipped"
+        elif r.verify_method is not None:
+            verify = (
+                f"  verify[{r.verify_method}]="
+                f"{'ok' if r.verified else 'FAILED'}"
+            )
         lines.append(
             f"{r.label}: depth={r.depth} fusions={r.num_fusions:,} "
-            f"[{origin}]{improvement}"
+            f"[{origin}]{improvement}{verify}"
+        )
+    return "\n".join(lines)
+
+
+def render_stage_profile(records: Sequence[RunRecord]) -> str:
+    """Per-stage compile timing breakdown (``bench --profile``)."""
+    stage_cols = [f"{stage}_seconds" for stage in PROFILE_STAGES] + [
+        "verify_seconds"
+    ]
+    header = f"{'run':<12}" + "".join(
+        f"{col[:-8]:>11}" for col in stage_cols
+    ) + f"{'total':>11}"
+    lines = [header, "-" * len(header)]
+    for r in records:
+        cells = [getattr(r, col) for col in stage_cols]
+        total = r.seconds + r.verify_seconds
+        lines.append(
+            f"{r.label:<12}"
+            + "".join(f"{value:>10.3f}s" for value in cells)
+            + f"{total:>10.3f}s"
         )
     return "\n".join(lines)

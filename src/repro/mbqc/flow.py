@@ -35,25 +35,37 @@ def dependency_layers(pattern: MeasurementPattern) -> List[List[int]]:
     fixed-basis measurement), so they are placed according to graph
     proximity of their producers: an output's layer is the layer of its
     latest blocking source, or 0 when it has none.
+
+    Level-synchronous Kahn: indegree counters over the blocking DAG with
+    a ready queue, each blocking edge relaxed exactly once — a node's
+    counter hits zero in the round after its last source, which is the
+    same layer the seed's rescan-every-remaining-node loop assigned
+    (pinned by the equivalence tests in ``tests/mbqc/test_flow.py``).
     """
-    layer_of: Dict[int, int] = {}
     blocking = {v: blocking_sources(pattern, v) for v in pattern.graph.nodes()}
-    remaining = set(pattern.graph.nodes())
+    indegree: Dict[int, int] = {}
+    dependents: Dict[int, List[int]] = {}
+    for node, sources in blocking.items():
+        indegree[node] = len(sources)
+        for src in sources:
+            dependents.setdefault(src, []).append(node)
+    current = [node for node, degree in indegree.items() if degree == 0]
     layers: List[List[int]] = []
-    while remaining:
-        current = [
-            v
-            for v in remaining
-            if all(src in layer_of for src in blocking[v])
-        ]
-        if not current:
-            raise RuntimeError(
-                "dependency cycle detected; pattern dependencies are corrupt"
-            )
-        for v in current:
-            layer_of[v] = len(layers)
+    assigned = 0
+    while current:
         layers.append(sorted(current))
-        remaining -= set(current)
+        assigned += len(current)
+        ready: List[int] = []
+        for node in current:
+            for dependent in dependents.get(node, ()):
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    ready.append(dependent)
+        current = ready
+    if assigned != len(blocking):
+        raise RuntimeError(
+            "dependency cycle detected; pattern dependencies are corrupt"
+        )
     return layers
 
 

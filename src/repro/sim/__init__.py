@@ -1,6 +1,15 @@
 """Simulation substrates: dense statevector, MBQC pattern, stabilizer."""
 
-from repro.sim.pattern_sim import PatternResult, PatternSimulator, simulate_pattern
+from repro.sim.pattern_sim import (
+    PatternResult,
+    PatternSimulator,
+    StabilizerPatternResult,
+    StabilizerPatternSimulator,
+    pattern_is_clifford,
+    simulate_pattern,
+    simulate_pattern_stabilizer,
+)
+from repro.sim.stabilizer import PauliString, StabilizerState
 from repro.sim.statevector import (
     Statevector,
     basis_state_distribution,
@@ -16,14 +25,20 @@ from repro.sim.statevector import (
 __all__ = [
     "PatternResult",
     "PatternSimulator",
+    "PauliString",
+    "StabilizerPatternResult",
+    "StabilizerPatternSimulator",
+    "StabilizerState",
     "Statevector",
     "basis_state_distribution",
     "circuit_unitary",
     "fidelity",
     "gate_matrix",
     "j_matrix",
+    "pattern_is_clifford",
     "simulate",
     "simulate_pattern",
+    "simulate_pattern_stabilizer",
     "states_equal_up_to_phase",
     "unitaries_equal_up_to_phase",
 ]

@@ -1,24 +1,31 @@
-"""Lazy statevector execution of measurement patterns.
+"""Execution of measurement patterns: dense (lazy window) and stabilizer.
 
-This simulator plays the role of the photonic machine: qubits come into
-existence when first needed, are entangled by CZ along graph edges,
-measured once in an adaptive equatorial basis, and destroyed.  Keeping
-only the *active* window of qubits (the frontier) makes the memory cost
-``O(2^(wires+1))`` rather than ``O(2^nodes)``.
+:class:`PatternSimulator` plays the role of the photonic machine: qubits
+come into existence when first needed, are entangled by CZ along graph
+edges, measured once in an adaptive equatorial basis, and destroyed.
+Keeping only the *active* window of qubits (the frontier) makes the
+memory cost ``O(2^(wires+1))`` rather than ``O(2^nodes)``.  It is the
+end-to-end correctness oracle for the whole stack: the output state of a
+translated pattern must equal the circuit's output state.
 
-It is the end-to-end correctness oracle for the whole stack: the output
-state of a translated pattern must equal the circuit's output state.
+:class:`StabilizerPatternSimulator` executes *Clifford* patterns (every
+measurement at a Pauli angle — the translator emits these exactly for
+Clifford circuits) on the bit-packed CHP engine instead, which scales
+verification to hundreds of qubits.  ``repro.core.validate.verify_pattern``
+picks between the two automatically.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.mbqc.pattern import MeasurementPattern
+from repro.sim.stabilizer import PauliString, StabilizerState
+from repro.utils.angles import is_pauli_angle, normalize_angle
 
 _SQRT2 = math.sqrt(2.0)
 
@@ -233,3 +240,124 @@ def simulate_pattern(
 ) -> PatternResult:
     """One-shot convenience wrapper around :class:`PatternSimulator`."""
     return PatternSimulator(pattern, seed=seed).run(input_state=input_state)
+
+
+# ----------------------------------------------------------------------
+# stabilizer execution of Clifford patterns
+# ----------------------------------------------------------------------
+def pattern_is_clifford(pattern: MeasurementPattern) -> bool:
+    """True when every measurement is at a Pauli (X/Y-basis) angle.
+
+    Such patterns arise exactly from Clifford circuits and can be
+    executed on the stabilizer engine at any size.
+    """
+    return all(is_pauli_angle(alpha) for alpha in pattern.angles.values())
+
+
+def _pauli_basis(theta: float) -> Tuple[str, int]:
+    """Map an equatorial Pauli angle to ``(basis, sign)``.
+
+    ``E(0)`` measures ``X``, ``E(pi/2)`` measures ``Y``, and the pi
+    shifts negate the observable (``sign=1``).
+    """
+    ratio = normalize_angle(theta) / (math.pi / 2.0)
+    quarter = int(round(ratio))
+    if abs(ratio - quarter) > 1e-7:
+        raise ValueError(f"angle {theta} is not a Pauli measurement basis")
+    return [("x", 0), ("y", 0), ("x", 1), ("y", 1)][quarter % 4]
+
+
+@dataclass
+class StabilizerPatternResult:
+    """Outcome record of one stabilizer pattern execution.
+
+    Attributes:
+        state: the full tableau over *all* pattern nodes (measured nodes
+            are disentangled product qubits after execution); output
+            byproducts are already corrected.
+        qubit_of: pattern node -> tableau qubit index.
+        outcomes: measured node -> outcome bit.
+    """
+
+    state: StabilizerState
+    qubit_of: Dict[int, int]
+    outcomes: Dict[int, int]
+
+    def output_pauli(
+        self, outputs: Sequence[int], x: Sequence[int], z: Sequence[int]
+    ) -> PauliString:
+        """Lift a Pauli on the output register onto the full tableau."""
+        pauli = PauliString(self.state.n)
+        for wire, node in enumerate(outputs):
+            qubit = self.qubit_of[node]
+            pauli.x[qubit] = x[wire]
+            pauli.z[qubit] = z[wire]
+        return pauli
+
+
+class StabilizerPatternSimulator:
+    """Executes a Clifford :class:`MeasurementPattern` on the CHP engine.
+
+    Unlike :class:`PatternSimulator` the whole graph state is built up
+    front (one vectorized tableau write) and every node is measured in
+    its *actual* Pauli basis — the adaptive angle ``(-1)^s alpha + t pi``
+    stays a Pauli angle when ``alpha`` is one.  Input nodes are prepared
+    in ``|0>`` exactly as the dense simulator does.
+    """
+
+    def __init__(
+        self,
+        pattern: MeasurementPattern,
+        seed: Optional[int] = None,
+        force_outcomes: Optional[Dict[int, int]] = None,
+    ):
+        if not pattern_is_clifford(pattern):
+            raise ValueError(
+                "pattern has non-Pauli measurement angles; "
+                "use the dense PatternSimulator"
+            )
+        self.pattern = pattern
+        self.seed = seed
+        self.force_outcomes = force_outcomes or {}
+
+    def run(self) -> StabilizerPatternResult:
+        pattern = self.pattern
+        state, index = StabilizerState.graph_state(
+            pattern.graph, seed=self.seed, zero_nodes=pattern.inputs
+        )
+        outcomes: Dict[int, int] = {}
+        for node in pattern.measurement_order():
+            alpha = pattern.angles[node]
+            s = 0
+            for src in pattern.x_deps.get(node, frozenset()):
+                s ^= outcomes[src]
+            t = 0
+            for src in pattern.z_deps.get(node, frozenset()):
+                t ^= outcomes[src]
+            theta = ((-1.0) ** s) * alpha + t * math.pi
+            basis, sign = _pauli_basis(theta)
+            pauli = PauliString.from_ops(state.n, {index[node]: basis}, sign=sign)
+            outcomes[node] = state.measure_pauli(
+                pauli, force=self.force_outcomes.get(node)
+            )
+        for node in pattern.outputs:
+            t = 0
+            for src in pattern.output_z.get(node, frozenset()):
+                t ^= outcomes[src]
+            if t:
+                state.z_gate(index[node])
+            s = 0
+            for src in pattern.output_x.get(node, frozenset()):
+                s ^= outcomes[src]
+            if s:
+                state.x_gate(index[node])
+        return StabilizerPatternResult(
+            state=state, qubit_of=index, outcomes=outcomes
+        )
+
+
+def simulate_pattern_stabilizer(
+    pattern: MeasurementPattern, seed: Optional[int] = None
+) -> StabilizerPatternResult:
+    """One-shot wrapper around :class:`StabilizerPatternSimulator`."""
+    return StabilizerPatternSimulator(pattern, seed=seed).run()

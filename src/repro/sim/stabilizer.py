@@ -1,4 +1,4 @@
-"""Aaronson-Gottesman (CHP) stabilizer tableau simulator.
+"""Bit-packed Aaronson-Gottesman (CHP) stabilizer tableau simulator.
 
 Built to verify graph-state identities and photonic fusion semantics at
 sizes far beyond dense simulation.  Supports the Clifford gates used in
@@ -7,7 +7,14 @@ products (the XZ/ZX joint measurements that realize fusion).
 
 Representation follows arXiv:quant-ph/0406196: ``2n`` rows of binary
 ``x``/``z`` vectors plus a sign bit; rows ``0..n-1`` are destabilizers and
-rows ``n..2n-1`` stabilizers.
+rows ``n..2n-1`` stabilizers.  Rows are packed 64 qubits per ``uint64``
+word, and the phase function of a row product is evaluated over whole
+rows at once with popcount identities (the per-qubit branchy ``g`` of the
+paper becomes two bitmasks: positions contributing ``+i`` and ``-i``).
+One Pauli measurement is a handful of vectorized word operations instead
+of an interpreted O(n^2) loop; the seed implementation is preserved in
+``tests/sim/reference_stabilizer.py`` and pinned bit-identical by
+``tests/sim/test_stabilizer_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -16,6 +23,66 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
+
+from repro.utils.angles import is_clifford_angle, normalize_angle
+
+_ONE = np.uint64(1)
+_SIX3 = np.uint64(63)
+
+try:
+    _bitwise_count = np.bitwise_count
+except AttributeError:  # pragma: no cover - NumPy < 2.0
+    _POPCOUNT8 = np.array(
+        [bin(i).count("1") for i in range(256)], dtype=np.uint8
+    )
+    def _bitwise_count(words: np.ndarray) -> np.ndarray:
+        # per-byte counts; callers only ever sum along the last axis
+        return _POPCOUNT8[np.ascontiguousarray(words).view(np.uint8)]
+
+
+def _num_words(num_qubits: int) -> int:
+    return (num_qubits + 63) >> 6
+
+
+def _bit_positions(qubits: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Map qubit indices to (word index, bit mask) pairs."""
+    qubits = np.asarray(qubits, dtype=np.int64)
+    return qubits >> 6, _ONE << (qubits.astype(np.uint64) & _SIX3)
+
+
+def _pack_bits(bits: Sequence[int], num_words: int) -> np.ndarray:
+    """Pack a 0/1 vector into little-bit-order ``uint64`` words."""
+    bits = np.asarray(bits, dtype=np.uint64)
+    words, masks = _bit_positions(np.flatnonzero(bits))
+    out = np.zeros(num_words, dtype=np.uint64)
+    np.bitwise_or.at(out, words, masks)
+    return out
+
+
+def _unpack_bits(words: np.ndarray, num_qubits: int) -> np.ndarray:
+    """Inverse of :func:`_pack_bits`: words -> uint8 vector of length n."""
+    idx = np.arange(num_qubits, dtype=np.int64)
+    shifts = idx.astype(np.uint64) & _SIX3
+    return ((words[idx >> 6] >> shifts) & _ONE).astype(np.uint8)
+
+
+def _phase_sum_packed(
+    ix: np.ndarray, iz: np.ndarray, hx: np.ndarray, hz: np.ndarray
+) -> np.ndarray:
+    """Signed sum of the AG phase function ``g`` over whole packed rows.
+
+    ``(ix, iz)`` is the multiplier row, ``(hx, hz)`` the row(s) being
+    updated (broadcasting applies; the last axis is words).  ``g`` is
+    ``+1``/``-1`` exactly on the positions captured by the two masks, so
+    the per-qubit case analysis collapses into popcounts.  Padding bits
+    beyond qubit ``n-1`` are zero in every non-complemented operand, and
+    every mask term contains at least one, so they never contribute.
+    """
+    plus = (ix & iz & hz & ~hx) | (ix & ~iz & hx & hz) | (~ix & iz & hx & ~hz)
+    minus = (ix & iz & hx & ~hz) | (ix & ~iz & hz & ~hx) | (~ix & iz & hx & hz)
+    return _bitwise_count(plus).sum(axis=-1, dtype=np.int64) - _bitwise_count(
+        minus
+    ).sum(axis=-1, dtype=np.int64)
 
 
 class PauliString:
@@ -60,17 +127,6 @@ class PauliString:
         return ("-" if self.sign else "+") + body
 
 
-def _g(x1: int, z1: int, x2: int, z2: int) -> int:
-    """AG phase function: exponent of i when multiplying two Paulis."""
-    if x1 == 0 and z1 == 0:
-        return 0
-    if x1 == 1 and z1 == 1:  # Y
-        return z2 - x2
-    if x1 == 1 and z1 == 0:  # X
-        return z2 * (2 * x2 - 1)
-    return x2 * (1 - 2 * z2)  # Z
-
-
 class StabilizerState:
     """A stabilizer state on ``num_qubits`` qubits, initially ``|0...0>``."""
 
@@ -79,12 +135,14 @@ class StabilizerState:
             raise ValueError("num_qubits must be positive")
         n = num_qubits
         self.n = n
-        self.x = np.zeros((2 * n, n), dtype=np.uint8)
-        self.z = np.zeros((2 * n, n), dtype=np.uint8)
+        self.num_words = _num_words(n)
+        self.x = np.zeros((2 * n, self.num_words), dtype=np.uint64)
+        self.z = np.zeros((2 * n, self.num_words), dtype=np.uint64)
         self.r = np.zeros(2 * n, dtype=np.uint8)
-        for i in range(n):
-            self.x[i, i] = 1          # destabilizer X_i
-            self.z[n + i, i] = 1      # stabilizer Z_i
+        rows = np.arange(n, dtype=np.int64)
+        words, masks = _bit_positions(rows)
+        self.x[rows, words] = masks          # destabilizer X_i
+        self.z[n + rows, words] = masks      # stabilizer Z_i
         self.rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
@@ -92,95 +150,259 @@ class StabilizerState:
     # ------------------------------------------------------------------
     @classmethod
     def graph_state(
-        cls, graph: nx.Graph, order: Optional[Sequence] = None, seed: Optional[int] = None
+        cls,
+        graph: nx.Graph,
+        order: Optional[Sequence] = None,
+        seed: Optional[int] = None,
+        zero_nodes: Iterable = (),
     ) -> Tuple["StabilizerState", Dict]:
-        """Build the graph state of *graph*; returns (state, node->qubit)."""
+        """Build the graph state of *graph*; returns (state, node->qubit).
+
+        The whole tableau is written directly (one vectorized pass over a
+        packed adjacency matrix) instead of replaying ``n`` H gates and
+        ``|E|`` CZ gates: each row holds at most one X bit throughout that
+        gate sequence, so no phase ever appears and the final tableau is
+        the closed form written here.
+
+        ``zero_nodes`` are prepared in ``|0>`` instead of ``|+>`` (no H
+        before the CZ layer) — the initialization the measurement-pattern
+        semantics gives input nodes.
+        """
         nodes = list(order) if order is not None else sorted(graph.nodes())
         index = {node: i for i, node in enumerate(nodes)}
         state = cls(len(nodes), seed=seed)
-        for i in range(len(nodes)):
-            state.h(i)
-        for u, v in graph.edges():
-            state.cz(index[u], index[v])
+        n = state.n
+        zeros = {index[v] for v in zero_nodes}
+        if not zeros <= set(range(n)):  # pragma: no cover - guarded by index
+            raise ValueError("zero_nodes must be graph nodes")
+
+        adj = np.zeros((n, state.num_words), dtype=np.uint64)
+        if graph.number_of_edges():
+            pairs = np.array(
+                [(index[u], index[v]) for u, v in graph.edges()], dtype=np.int64
+            )
+            a, b = pairs[:, 0], pairs[:, 1]
+            wb, mb = _bit_positions(b)
+            wa, ma = _bit_positions(a)
+            np.bitwise_or.at(adj, (a, wb), mb)
+            np.bitwise_or.at(adj, (b, wa), ma)
+
+        state.x[:] = 0
+        state.z[:] = 0
+        zero_idx = np.array(sorted(zeros), dtype=np.int64)
+        plus_idx = np.array(
+            [i for i in range(n) if i not in zeros], dtype=np.int64
+        )
+        if zero_idx.size:
+            words, masks = _bit_positions(zero_idx)
+            state.x[zero_idx, words] = masks        # destabilizer X_i ...
+            state.z[zero_idx] = adj[zero_idx]       # ... times Z on neighbors
+            state.z[n + zero_idx, words] = masks    # stabilizer Z_i
+        if plus_idx.size:
+            words, masks = _bit_positions(plus_idx)
+            state.z[plus_idx, words] = masks        # destabilizer Z_i
+            state.x[n + plus_idx, words] = masks    # stabilizer X_i prod Z_nbr
+            state.z[n + plus_idx] = adj[plus_idx]
         return state, index
 
     def copy(self) -> "StabilizerState":
-        out = StabilizerState(self.n)
+        out = object.__new__(StabilizerState)
+        out.n = self.n
+        out.num_words = self.num_words
         out.x = self.x.copy()
         out.z = self.z.copy()
         out.r = self.r.copy()
-        out.rng = self.rng
+        out._destabilizers_valid = self._destabilizers_valid
+        # Fork (never share) the generator: a shared generator would let a
+        # measurement on the copy silently perturb the original's stream.
+        # Spawning goes through the seed sequence, so the parent's own
+        # draw stream is untouched either way.
+        try:
+            out.rng = self.rng.spawn(1)[0]
+        except AttributeError:  # pragma: no cover - NumPy < 1.25
+            bit_gen = self.rng.bit_generator
+            seed_seq = getattr(bit_gen, "seed_seq", None) or bit_gen._seed_seq
+            out.rng = np.random.Generator(type(bit_gen)(seed_seq.spawn(1)[0]))
         return out
 
     # ------------------------------------------------------------------
     # internal row algebra
     # ------------------------------------------------------------------
-    def _rowsum_into(
-        self,
-        hx: np.ndarray,
-        hz: np.ndarray,
-        hr: int,
-        ix: np.ndarray,
-        iz: np.ndarray,
-        ir: int,
-        strict: bool = True,
-    ) -> Tuple[np.ndarray, np.ndarray, int]:
-        """Return row h := h * i with AG phase tracking (mod 4 exponent).
+    def _column(self, mat: np.ndarray, q: int) -> np.ndarray:
+        """Bit of qubit *q* in every row of *mat* (as 0/1 uint64)."""
+        return (mat[:, q >> 6] >> np.uint64(q & 63)) & _ONE
 
-        Stabilizer-row products are always Hermitian (phase in {+1, -1});
-        destabilizer rows may pick up factors of i, whose sign bit is
-        irrelevant, so callers pass ``strict=False`` for them.
+    def _rowsum_rows(self, rows: np.ndarray, pivot: int) -> None:
+        """Batched ``row := row * pivot`` with AG phase tracking.
+
+        All target rows multiply by the same (unchanged) pivot row, so
+        the updates are independent and run as whole-array operations.
+        Stabilizer-row products must be Hermitian; destabilizer rows may
+        pick up factors of i whose sign bit is irrelevant (same contract
+        as the seed engine's ``strict`` flag).
         """
-        phase = 2 * (hr + ir)
-        for q in range(self.n):
-            phase += _g(int(ix[q]), int(iz[q]), int(hx[q]), int(hz[q]))
-        phase %= 4
-        if strict and phase not in (0, 2):
+        hx, hz = self.x[rows], self.z[rows]
+        ix, iz = self.x[pivot], self.z[pivot]
+        phase = 2 * (self.r[rows].astype(np.int64) + int(self.r[pivot]))
+        phase += _phase_sum_packed(ix, iz, hx, hz)
+        phase = np.mod(phase, 4)
+        if np.any(phase[rows >= self.n] & 1):
             raise RuntimeError("non-Hermitian product in stabilizer rowsum")
-        return hx ^ ix, hz ^ iz, (phase // 2) % 2
+        self.x[rows] = hx ^ ix
+        self.z[rows] = hz ^ iz
+        self.r[rows] = ((phase >> 1) & 1).astype(np.uint8)
 
-    def _rowsum(self, h: int, i: int) -> None:
-        strict = h >= self.n
-        self.x[h], self.z[h], self.r[h] = self._rowsum_into(
-            self.x[h],
-            self.z[h],
-            int(self.r[h]),
-            self.x[i],
-            self.z[i],
-            int(self.r[i]),
-            strict=strict,
-        )
+    def _anticommuting_rows(self, px: np.ndarray, pz: np.ndarray) -> np.ndarray:
+        """Boolean mask over all 2n rows: symplectic product with P is odd."""
+        sym = _bitwise_count(self.x & pz).sum(axis=1, dtype=np.int64)
+        sym += _bitwise_count(self.z & px).sum(axis=1, dtype=np.int64)
+        return (sym & 1).astype(bool)
+
+    def _accumulate_stabilizers(
+        self, anti_destab: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Product of stabilizer rows whose destabilizer partners are in
+        *anti_destab* (ascending), with sign tracking."""
+        accx = np.zeros(self.num_words, dtype=np.uint64)
+        accz = np.zeros(self.num_words, dtype=np.uint64)
+        accr = 0
+        for i in np.flatnonzero(anti_destab):
+            row = self.n + int(i)
+            phase = 2 * (accr + int(self.r[row]))
+            phase += int(_phase_sum_packed(self.x[row], self.z[row], accx, accz))
+            phase %= 4
+            if phase & 1:
+                raise RuntimeError("non-Hermitian product in stabilizer rowsum")
+            accx = accx ^ self.x[row]
+            accz = accz ^ self.z[row]
+            accr = (phase >> 1) & 1
+        return accx, accz, accr
+
+    def _deterministic_outcome(
+        self, px: np.ndarray, pz: np.ndarray, anti_destab: np.ndarray, sign: int
+    ) -> int:
+        """Outcome of a commuting (deterministic) Pauli measurement.
+
+        Accumulates the product of stabilizers whose destabilizer
+        partners anticommute with the measured Pauli; that product must
+        reproduce the Pauli itself or the tableau is corrupt.
+        """
+        accx, accz, accr = self._accumulate_stabilizers(anti_destab)
+        if not (np.array_equal(accx, px) and np.array_equal(accz, pz)):
+            raise RuntimeError(
+                "deterministic measurement does not reproduce the Pauli; "
+                "tableau is corrupt"
+            )
+        return (accr + sign) % 2
 
     # ------------------------------------------------------------------
     # Clifford gates
     # ------------------------------------------------------------------
     def h(self, q: int) -> None:
-        self.r ^= self.x[:, q] & self.z[:, q]
-        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+        w, mask = (q >> 6), _ONE << np.uint64(q & 63)
+        xw, zw = self.x[:, w], self.z[:, w]
+        self.r ^= (((xw & zw) & mask) != 0).astype(np.uint8)
+        diff = (xw ^ zw) & mask
+        self.x[:, w] ^= diff
+        self.z[:, w] ^= diff
 
     def s(self, q: int) -> None:
-        self.r ^= self.x[:, q] & self.z[:, q]
-        self.z[:, q] ^= self.x[:, q]
+        w, mask = (q >> 6), _ONE << np.uint64(q & 63)
+        xw, zw = self.x[:, w], self.z[:, w]
+        self.r ^= (((xw & zw) & mask) != 0).astype(np.uint8)
+        self.z[:, w] ^= xw & mask
+
+    def sdg(self, q: int) -> None:
+        w, mask = (q >> 6), _ONE << np.uint64(q & 63)
+        xw, zw = self.x[:, w], self.z[:, w]
+        self.r ^= (((xw & ~zw) & mask) != 0).astype(np.uint8)
+        self.z[:, w] ^= xw & mask
 
     def x_gate(self, q: int) -> None:
-        self.r ^= self.z[:, q]
+        self.r ^= self._column(self.z, q).astype(np.uint8)
+
+    def y_gate(self, q: int) -> None:
+        self.r ^= (self._column(self.x, q) ^ self._column(self.z, q)).astype(
+            np.uint8
+        )
 
     def z_gate(self, q: int) -> None:
-        self.r ^= self.x[:, q]
+        self.r ^= self._column(self.x, q).astype(np.uint8)
 
     def cnot(self, control: int, target: int) -> None:
-        self.r ^= (
-            self.x[:, control]
-            & self.z[:, target]
-            & (self.x[:, target] ^ self.z[:, control] ^ 1)
-        )
-        self.x[:, target] ^= self.x[:, control]
-        self.z[:, control] ^= self.z[:, target]
+        if control == target:
+            raise ValueError("cnot needs distinct qubits")
+        xc = self._column(self.x, control)
+        zc = self._column(self.z, control)
+        xt = self._column(self.x, target)
+        zt = self._column(self.z, target)
+        self.r ^= (xc & zt & (xt ^ zc ^ _ONE)).astype(np.uint8)
+        self.x[:, target >> 6] ^= xc << np.uint64(target & 63)
+        self.z[:, control >> 6] ^= zt << np.uint64(control & 63)
 
     def cz(self, a: int, b: int) -> None:
-        self.h(b)
-        self.cnot(a, b)
-        self.h(b)
+        """Direct column update (the seed engine lowered CZ to H-CNOT-H)."""
+        if a == b:
+            raise ValueError("cz needs distinct qubits")
+        xa = self._column(self.x, a)
+        za = self._column(self.z, a)
+        xb = self._column(self.x, b)
+        zb = self._column(self.z, b)
+        self.r ^= (xa & xb & (za ^ zb)).astype(np.uint8)
+        self.z[:, a >> 6] ^= xb << np.uint64(a & 63)
+        self.z[:, b >> 6] ^= xa << np.uint64(b & 63)
+
+    def swap(self, a: int, b: int) -> None:
+        if a == b:
+            return
+        for mat in (self.x, self.z):
+            bit_a = (mat[:, a >> 6] >> np.uint64(a & 63)) & _ONE
+            bit_b = (mat[:, b >> 6] >> np.uint64(b & 63)) & _ONE
+            diff = bit_a ^ bit_b
+            mat[:, a >> 6] ^= diff << np.uint64(a & 63)
+            mat[:, b >> 6] ^= diff << np.uint64(b & 63)
+
+    # ------------------------------------------------------------------
+    # batched circuit application
+    # ------------------------------------------------------------------
+    def apply_gate(self, gate) -> None:
+        """Apply one circuit gate (duck-typed: ``name``/``qubits``/``params``).
+
+        Supports the Clifford gate set plus ``rz``/``p`` at Clifford
+        angles (multiples of pi/2, which only differ from I/S/Z/Sdg by a
+        global phase); raises ``ValueError`` for anything non-Clifford.
+        """
+        name = gate.name
+        qubits = gate.qubits
+        if name in _SINGLE_QUBIT_GATES:
+            for method in _SINGLE_QUBIT_GATES[name]:
+                getattr(self, method)(qubits[0])
+        elif name == "cx":
+            self.cnot(qubits[0], qubits[1])
+        elif name == "cz":
+            self.cz(qubits[0], qubits[1])
+        elif name == "swap":
+            self.swap(qubits[0], qubits[1])
+        elif name in ("rz", "p"):
+            alpha = gate.params[0]
+            if not is_clifford_angle(alpha):
+                raise ValueError(
+                    f"gate {name}({alpha}) is not Clifford; "
+                    "use the statevector simulator"
+                )
+            quarter = int(round(normalize_angle(alpha) / (np.pi / 2.0))) % 4
+            for method in ((), ("s",), ("z_gate",), ("sdg",))[quarter]:
+                getattr(self, method)(qubits[0])
+        else:
+            raise ValueError(
+                f"gate {name!r} is not Clifford; use the statevector simulator"
+            )
+
+    def apply_circuit(self, circuit) -> "StabilizerState":
+        """Apply every gate of a (Clifford) circuit; returns ``self``."""
+        for gate in circuit:
+            self.apply_gate(gate)
+        return self
 
     # ------------------------------------------------------------------
     # measurements
@@ -188,10 +410,6 @@ class StabilizerState:
     def measure_z(self, q: int, force: Optional[int] = None) -> int:
         pauli = PauliString.from_ops(self.n, {q: "z"})
         return self.measure_pauli(pauli, force=force)
-
-    def _anticommutes(self, row: int, pauli: PauliString) -> bool:
-        sym = np.sum(self.x[row] & pauli.z) + np.sum(self.z[row] & pauli.x)
-        return bool(sym % 2)
 
     def measure_pauli(self, pauli: PauliString, force: Optional[int] = None) -> int:
         """Measure a Pauli product; returns outcome ``m`` for ``(-1)^m``.
@@ -201,53 +419,75 @@ class StabilizerState:
         case).
         """
         n = self.n
-        anti_stab = [
-            i for i in range(n, 2 * n) if self._anticommutes(i, pauli)
-        ]
-        if anti_stab:
-            p = anti_stab[0]
+        px = _pack_bits(pauli.x, self.num_words)
+        pz = _pack_bits(pauli.z, self.num_words)
+        anti = self._anticommuting_rows(px, pz)
+        anti_stab = np.flatnonzero(anti[n:])
+        if anti_stab.size:
+            p = n + int(anti_stab[0])
             outcome = (
                 int(force) if force is not None else int(self.rng.integers(2))
             )
-            for i in range(2 * n):
-                if i != p and self._anticommutes(i, pauli):
-                    self._rowsum(i, p)
+            rows = np.flatnonzero(anti)
+            rows = rows[rows != p]
+            if rows.size:
+                self._rowsum_rows(rows, p)
             # old stabilizer becomes the destabilizer of the new one
-            self.x[p - n] = self.x[p].copy()
-            self.z[p - n] = self.z[p].copy()
+            self.x[p - n] = self.x[p]
+            self.z[p - n] = self.z[p]
             self.r[p - n] = self.r[p]
-            self.x[p] = pauli.x.copy()
-            self.z[p] = pauli.z.copy()
+            self.x[p] = px
+            self.z[p] = pz
             self.r[p] = (pauli.sign + outcome) % 2
             return outcome
-        # deterministic: accumulate product of stabilizers whose
-        # destabilizer partners anticommute with the measured Pauli
-        accx = np.zeros(n, dtype=np.uint8)
-        accz = np.zeros(n, dtype=np.uint8)
-        accr = 0
-        for i in range(n):
-            if self._anticommutes(i, pauli):
-                accx, accz, accr = self._rowsum_into(
-                    accx, accz, accr, self.x[n + i], self.z[n + i], int(self.r[n + i])
-                )
-        if not (np.array_equal(accx, pauli.x) and np.array_equal(accz, pauli.z)):
-            raise RuntimeError(
-                "deterministic measurement does not reproduce the Pauli; "
-                "tableau is corrupt"
-            )
-        outcome = (accr + pauli.sign) % 2
+        outcome = self._deterministic_outcome(px, pz, anti[:n], pauli.sign)
         if force is not None and int(force) != outcome:
             raise RuntimeError(
                 f"forced outcome {force} has zero probability (got {outcome})"
             )
         return outcome
 
+    def measure_many(
+        self,
+        paulis: Sequence[PauliString],
+        force: Optional[Sequence[Optional[int]]] = None,
+    ) -> List[int]:
+        """Measure a sequence of Pauli products in order.
+
+        ``force`` optionally postselects per measurement (``None``
+        entries stay random).  Outcome order matches input order.
+        """
+        if force is None:
+            force = [None] * len(paulis)
+        if len(force) != len(paulis):
+            raise ValueError("force must match paulis in length")
+        return [
+            self.measure_pauli(pauli, force=f) for pauli, f in zip(paulis, force)
+        ]
+
+    def expectation(self, pauli: PauliString) -> Optional[int]:
+        """Outcome of measuring *pauli* if deterministic, else ``None``.
+
+        Read-only: a deterministic CHP measurement never updates the
+        tableau, and the random case returns before touching it.
+        """
+        px = _pack_bits(pauli.x, self.num_words)
+        pz = _pack_bits(pauli.z, self.num_words)
+        anti = self._anticommuting_rows(px, pz)
+        if anti[self.n:].any():
+            return None
+        return self._deterministic_outcome(px, pz, anti[: self.n], pauli.sign)
+
     # ------------------------------------------------------------------
     # group inspection
     # ------------------------------------------------------------------
     def stabilizer_rows(self) -> List[Tuple[np.ndarray, np.ndarray, int]]:
         return [
-            (self.x[i].copy(), self.z[i].copy(), int(self.r[i]))
+            (
+                _unpack_bits(self.x[i], self.n),
+                _unpack_bits(self.z[i], self.n),
+                int(self.r[i]),
+            )
             for i in range(self.n, 2 * self.n)
         ]
 
@@ -296,15 +536,12 @@ class StabilizerState:
                 "discarded qubits are still entangled with the rest"
             )
         out = StabilizerState(len(keep))
-        col_map = {q: i for i, q in enumerate(keep)}
+        keep_arr = np.array(keep, dtype=np.int64)
         for i, (vec, r) in enumerate(survivors[: len(keep)]):
-            xs = np.zeros(len(keep), dtype=np.uint8)
-            zs = np.zeros(len(keep), dtype=np.uint8)
-            for q in keep:
-                xs[col_map[q]] = vec[q]
-                zs[col_map[q]] = vec[self.n + q]
-            out.x[len(keep) + i] = xs
-            out.z[len(keep) + i] = zs
+            out.x[len(keep) + i] = _pack_bits(vec[keep_arr], out.num_words)
+            out.z[len(keep) + i] = _pack_bits(
+                vec[self.n + keep_arr], out.num_words
+            )
             out.r[len(keep) + i] = r
         # destabilizers of `out` are now stale; rebuild a consistent pair
         # set by completing the symplectic basis is unnecessary for the
@@ -315,15 +552,56 @@ class StabilizerState:
     _destabilizers_valid = True
 
 
+#: Single-qubit circuit-gate name -> tableau method sequence.
+_SINGLE_QUBIT_GATES: Dict[str, Tuple[str, ...]] = {
+    "i": (),
+    "x": ("x_gate",),
+    "y": ("y_gate",),
+    "z": ("z_gate",),
+    "h": ("h",),
+    "s": ("s",),
+    "sdg": ("sdg",),
+    "sx": ("h", "s", "h"),  # HSH = sqrt(X) exactly
+}
+
+
+def circuit_is_clifford(circuit) -> bool:
+    """True when every gate of *circuit* is one :meth:`StabilizerState.apply_gate`
+    accepts (the Clifford set, plus ``rz``/``p`` at Clifford angles)."""
+    for gate in circuit:
+        if gate.name in _SINGLE_QUBIT_GATES or gate.name in ("cx", "cz", "swap"):
+            continue
+        if gate.name in ("rz", "p") and is_clifford_angle(gate.params[0]):
+            continue
+        return False
+    return True
+
+
+def _g_sum(
+    ix: np.ndarray, iz: np.ndarray, hx: np.ndarray, hz: np.ndarray
+) -> int:
+    """Sum of the AG phase function over unpacked 0/1 rows (i times h).
+
+    Packs and delegates so the plus/minus mask formula exists exactly
+    once (:func:`_phase_sum_packed`).
+    """
+    num_words = _num_words(len(ix))
+    return int(
+        _phase_sum_packed(
+            _pack_bits(ix, num_words),
+            _pack_bits(iz, num_words),
+            _pack_bits(hx, num_words),
+            _pack_bits(hz, num_words),
+        )
+    )
+
+
 def _phase_product(
     a: Tuple[np.ndarray, int], b: Tuple[np.ndarray, int], n: int
 ) -> Tuple[np.ndarray, int]:
     """Multiply two (x|z, sign) rows with correct sign tracking."""
-    ax, az = a[0][:n], a[0][n:]
-    bx, bz = b[0][:n], b[0][n:]
     phase = 2 * (a[1] + b[1])
-    for q in range(n):
-        phase += _g(int(bx[q]), int(bz[q]), int(ax[q]), int(az[q]))
+    phase += _g_sum(b[0][:n], b[0][n:], a[0][:n], a[0][n:])
     phase %= 4
     if phase not in (0, 2):  # pragma: no cover
         raise RuntimeError("non-Hermitian product")

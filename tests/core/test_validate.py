@@ -5,7 +5,12 @@ import pytest
 from repro.circuit import get_benchmark, qft
 from repro.core import compile_circuit
 from repro.core.mapping import LayerLayout
-from repro.core.validate import ValidationError, assert_valid, validate_program
+from repro.core.validate import (
+    ValidationError,
+    assert_valid,
+    validate_program,
+    verify_pattern,
+)
 from repro.hardware import FOUR_STAR, HardwareConfig
 
 
@@ -93,3 +98,86 @@ class TestViolationsDetected:
         program, hardware = self._program_with_layout(layout)
         with pytest.raises(ValidationError):
             assert_valid(program, hardware)
+
+
+class TestVerifyPattern:
+    def test_clifford_circuit_uses_stabilizer_engine(self):
+        from repro.circuit.benchmarks import get_benchmark
+
+        circuit = get_benchmark("BV", 10, seed=7)
+        report = verify_pattern(circuit)
+        assert report.ok is True
+        assert report.method == "stabilizer"
+        assert report.seconds > 0
+
+    def test_clifford_scales_past_dense_limits(self):
+        from repro.circuit.benchmarks import get_benchmark
+
+        circuit = get_benchmark("BV", 48, seed=7)
+        report = verify_pattern(circuit)
+        assert report.ok is True
+        assert report.method == "stabilizer"
+
+    def test_non_clifford_small_uses_statevector(self):
+        from repro.circuit.benchmarks import get_benchmark
+
+        circuit = get_benchmark("QFT", 4, seed=7)
+        report = verify_pattern(circuit)
+        assert report.ok is True
+        assert report.method == "statevector"
+
+    def test_non_clifford_large_is_skipped_not_passed(self):
+        from repro.circuit.benchmarks import get_benchmark
+
+        circuit = get_benchmark("QFT", 16, seed=7)
+        report = verify_pattern(circuit)
+        assert report.ok is None
+        assert report.method == "skipped"
+
+    def test_tampered_clifford_pattern_fails(self):
+        """Basis changes (pi/2, X -> Y) that genuinely corrupt the
+        pattern must be caught — and the stabilizer verdict must agree
+        with the dense oracle node for node.
+
+        Not every tamper is a bug: angle shifts on ``|0>``-input nodes
+        are irrelevant, and injected Z byproducts act trivially on BV's
+        computational-basis output, so those verify clean in *both*
+        engines.
+        """
+        import math
+
+        from repro.circuit.benchmarks import get_benchmark
+        from repro.mbqc.translate import circuit_to_pattern
+        from repro.sim.pattern_sim import simulate_pattern
+        from repro.sim.statevector import simulate, states_equal_up_to_phase
+
+        circuit = get_benchmark("BV", 8, seed=7)
+        reference = simulate(circuit)
+        caught = []
+        for node in sorted(circuit_to_pattern(circuit).angles):
+            pattern = circuit_to_pattern(circuit)
+            pattern.angles[node] = pattern.angles[node] + math.pi / 2.0
+            report = verify_pattern(circuit, pattern=pattern, seed=3)
+            assert report.method == "stabilizer"
+            dense_ok = states_equal_up_to_phase(
+                reference, simulate_pattern(pattern, seed=3).state
+            )
+            assert report.ok == dense_ok, f"engines disagree on node {node}"
+            if report.ok is False:
+                caught.append(node)
+        assert caught, "no tamper was caught"
+
+    def test_tampered_dense_pattern_fails(self):
+        from repro.circuit.benchmarks import get_benchmark
+        from repro.mbqc.translate import circuit_to_pattern
+
+        circuit = get_benchmark("QFT", 3, seed=7)
+        caught = []
+        for node in sorted(circuit_to_pattern(circuit).angles):
+            pattern = circuit_to_pattern(circuit)
+            pattern.angles[node] = pattern.angles[node] + 0.3
+            report = verify_pattern(circuit, pattern=pattern)
+            assert report.method == "statevector"
+            if report.ok is False:
+                caught.append(node)
+        assert caught, "no tamper was caught"

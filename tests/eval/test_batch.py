@@ -146,3 +146,88 @@ class TestArtifacts:
         text = render_run_records(records)
         assert "BV-8" in text
         assert "depth=" in text
+
+
+class TestVerifyStage:
+    def test_clifford_benchmark_verifies_on_stabilizer(self):
+        record = execute_spec(RunSpec("BV", 8, verify=True))
+        assert record.verified is True
+        assert record.verify_method == "stabilizer"
+        assert record.verify_seconds > 0
+
+    def test_large_clifford_benchmark_still_verifies(self):
+        """The stabilizer path scales past dense limits."""
+        record = execute_spec(RunSpec("BV", 24, verify=True))
+        assert record.verified is True
+        assert record.verify_method == "stabilizer"
+
+    def test_small_non_clifford_verifies_dense(self):
+        record = execute_spec(RunSpec("QFT", 4, verify=True))
+        assert record.verified is True
+        assert record.verify_method == "statevector"
+
+    def test_verify_off_by_default(self):
+        record = execute_spec(RunSpec("BV", 8))
+        assert record.verified is None
+        assert record.verify_method is None
+        assert record.verify_seconds == 0.0
+
+    def test_verify_changes_cache_key(self):
+        assert RunSpec("BV", 8).key() != RunSpec("BV", 8, verify=True).key()
+
+    def test_render_marks_verification(self):
+        from repro.eval.batch import render_run_records
+
+        record = execute_spec(RunSpec("BV", 8, verify=True))
+        assert "verify[stabilizer]=ok" in render_run_records([record])
+
+
+class TestStageProfile:
+    def test_stage_seconds_recorded(self):
+        record = execute_spec(RunSpec("BV", 8))
+        stages = [
+            record.translate_seconds,
+            record.schedule_seconds,
+            record.partition_seconds,
+            record.map_seconds,
+            record.shuffle_seconds,
+        ]
+        assert all(value >= 0.0 for value in stages)
+        assert record.map_seconds > 0.0
+        # stage breakdown stays within the total compile time
+        assert sum(stages) <= record.seconds
+
+    def test_profile_columns_in_run_table(self, tmp_path):
+        records = BatchRunner(jobs=1).run([RunSpec("BV", 8, verify=True)])
+        _, csv_path = write_run_table(records, tmp_path)
+        with csv_path.open() as handle:
+            row = next(iter(csv.DictReader(handle)))
+        for column in (
+            "translate_seconds",
+            "schedule_seconds",
+            "partition_seconds",
+            "map_seconds",
+            "shuffle_seconds",
+            "verify_seconds",
+            "verified",
+            "verify_method",
+        ):
+            assert column in row
+        assert row["verified"] == "True"
+        assert row["verify_method"] == "stabilizer"
+
+    def test_render_stage_profile(self):
+        from repro.eval.batch import render_stage_profile
+
+        records = BatchRunner(jobs=1).run([RunSpec("BV", 8)])
+        text = render_stage_profile(records)
+        assert "translate" in text and "shuffle" in text
+        assert "BV-8" in text
+
+    def test_verify_survives_cache_roundtrip(self, tmp_path):
+        spec = RunSpec("BV", 8, verify=True)
+        first = BatchRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        second = BatchRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        assert second[0].cached
+        assert second[0].verified is True
+        assert second[0].verify_method == "stabilizer"

@@ -122,3 +122,49 @@ class TestSchedulingRanks:
         for out in pattern.outputs:
             for src in pattern.output_x.get(out, frozenset()):
                 assert ranks[src] < ranks[out]
+
+
+def reference_dependency_layers(pattern):
+    """The seed ``dependency_layers``: rescans every remaining node per
+    round (kept verbatim as the equivalence oracle for the Kahn rewrite)."""
+    layer_of = {}
+    blocking = {v: blocking_sources(pattern, v) for v in pattern.graph.nodes()}
+    remaining = set(pattern.graph.nodes())
+    layers = []
+    while remaining:
+        current = [
+            v
+            for v in remaining
+            if all(src in layer_of for src in blocking[v])
+        ]
+        if not current:
+            raise RuntimeError(
+                "dependency cycle detected; pattern dependencies are corrupt"
+            )
+        for v in current:
+            layer_of[v] = len(layers)
+        layers.append(sorted(current))
+        remaining -= set(current)
+    return layers
+
+
+class TestDependencyLayerEquivalence:
+    """The indegree/ready-queue formulation must reproduce the seed's
+    layering exactly — same nodes, same layers, same order."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_patterns_identical(self, seed):
+        pattern = circuit_to_pattern(random_circuit(4, 18, seed + 900))
+        assert dependency_layers(pattern) == reference_dependency_layers(pattern)
+
+    @pytest.mark.parametrize("builder", [lambda: qft(5), lambda: bernstein_vazirani(10)])
+    def test_benchmarks_identical(self, builder):
+        pattern = circuit_to_pattern(builder())
+        assert dependency_layers(pattern) == reference_dependency_layers(pattern)
+
+    def test_deep_t_chain_identical(self):
+        c = Circuit(2)
+        for i in range(10):
+            c.t(i % 2).h(i % 2).cx(0, 1)
+        pattern = circuit_to_pattern(c)
+        assert dependency_layers(pattern) == reference_dependency_layers(pattern)

@@ -179,6 +179,106 @@ class TestFusionAtScale:
         assert rest.n == 2
 
 
+class TestCopyRngIndependence:
+    def test_copy_forks_the_generator(self):
+        s = StabilizerState(1, seed=123)
+        assert s.copy().rng is not s.rng
+
+    def test_measuring_a_copy_leaves_the_original_stream_intact(self):
+        """Regression: ``copy()`` used to alias ``rng``, so measuring a
+        copy consumed random draws from the original's stream."""
+        s = StabilizerState(1, seed=123)
+        s.h(0)
+        twin = StabilizerState(1, seed=123)
+        twin.h(0)
+        for _ in range(8):
+            s.copy().measure_z(0)
+        # the original's stream must be untouched: same draw sequence as
+        # a twin that never produced copies
+        assert [s.rng.integers(2) for _ in range(16)] == [
+            twin.rng.integers(2) for _ in range(16)
+        ]
+
+    def test_copy_preserves_tableau(self):
+        s = StabilizerState(3, seed=0)
+        s.h(0)
+        s.cnot(0, 1)
+        c = s.copy()
+        assert np.array_equal(c.x, s.x)
+        assert np.array_equal(c.z, s.z)
+        assert np.array_equal(c.r, s.r)
+        c.measure_z(0, force=0)
+        assert not np.array_equal(c.z, s.z)  # copy collapsed, original not
+
+
+def _random_clifford_pair(seed: int, n: int = 4, depth: int = 25):
+    """Build one random Clifford circuit plus its stabilizer tableau."""
+    import random
+
+    from repro.circuit import Circuit
+
+    rng = random.Random(seed)
+    circuit = Circuit(n)
+    for _ in range(depth):
+        choice = rng.choice(
+            ["h", "s", "sdg", "x", "y", "z", "cx", "cz", "swap"]
+        )
+        if choice in ("cx", "cz", "swap"):
+            a, b = rng.sample(range(n), 2)
+            getattr(circuit, choice)(a, b)
+        else:
+            getattr(circuit, choice)(rng.randrange(n))
+    tableau = StabilizerState(n).apply_circuit(circuit)
+    return circuit, tableau
+
+
+class TestCliffordCrossCheck:
+    """Satellite: random Clifford circuits on both engines must agree on
+    deterministic outcomes and on outcome probabilities (0, 1/2, or 1)."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_z_outcomes_and_probabilities(self, seed):
+        from repro.sim.statevector import Statevector, simulate
+
+        circuit, tableau = _random_clifford_pair(seed)
+        sv = Statevector(circuit.num_qubits, simulate(circuit))
+        for q in range(circuit.num_qubits):
+            p1 = sv.measure_probability(q, 1)
+            expected = tableau.expectation(PauliString.from_ops(4, {q: "z"}))
+            if expected is None:
+                assert p1 == pytest.approx(0.5)
+            else:
+                assert p1 == pytest.approx(float(expected))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_collapse_chain_matches_dense_conditionals(self, seed):
+        """Forcing outcomes on the tableau must track the dense state's
+        conditional distribution measurement by measurement."""
+        import random
+
+        from repro.sim.statevector import simulate
+
+        circuit, tableau = _random_clifford_pair(seed, depth=30)
+        n = circuit.num_qubits
+        psi = simulate(circuit)
+        rng = random.Random(seed + 1000)
+        for q in range(n):
+            probs = np.abs(psi) ** 2
+            mask = (np.arange(len(probs)) >> q) & 1
+            p1 = float(probs[mask == 1].sum())
+            expected = tableau.expectation(PauliString.from_ops(n, {q: "z"}))
+            if expected is None:
+                assert p1 == pytest.approx(0.5)
+                outcome = rng.randint(0, 1)
+            else:
+                assert p1 == pytest.approx(float(expected))
+                outcome = expected
+            tableau.measure_z(q, force=outcome)
+            # project the dense state onto the same branch
+            psi = np.where(mask == outcome, psi, 0.0)
+            psi = psi / np.linalg.norm(psi)
+
+
 class TestRandomCliffordAgainstDense:
     @given(st.integers(0, 200))
     @settings(max_examples=15, deadline=None)
