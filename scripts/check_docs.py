@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Documentation health check: dead links and stale code references.
+
+Run from the repository root (CI runs it in the docs job):
+
+    python scripts/check_docs.py
+
+Checks, over ``README.md``, ``PAPER.md``, ``PAPERS.md``, ``CHANGES.md``
+and everything under ``docs/``:
+
+1. every relative markdown link ``[text](path)`` resolves to an existing
+   file (anchors are stripped; http(s)/mailto links are not fetched —
+   only their syntax is validated);
+2. every ``src/repro/...py``-style file reference in a docs table or
+   inline code span points at a file that still exists;
+3. every ``repro.<module>`` dotted reference names an importable module
+   path under ``src/`` (attribute suffixes are tolerated).
+
+Exits non-zero with a per-problem report when anything is broken, so
+docs rot fails CI instead of accumulating.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+DOC_FILES = ["README.md", "PAPER.md", "PAPERS.md", "CHANGES.md"]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FILE_REF_RE = re.compile(r"`((?:src|docs|tests|benchmarks|scripts|examples)/[\w./-]+)`")
+MODULE_REF_RE = re.compile(r"`(repro(?:\.\w+)+)")
+
+
+def doc_paths() -> List[pathlib.Path]:
+    """Markdown files to check: the top-level docs plus docs/**."""
+    paths = [ROOT / name for name in DOC_FILES if (ROOT / name).exists()]
+    paths.extend(sorted((ROOT / "docs").glob("**/*.md")))
+    return paths
+
+
+def iter_problems(path: pathlib.Path) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, message)`` problems found in *path*."""
+    text = path.read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):  # in-page anchor
+                continue
+            rel = target.split("#", 1)[0]
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                yield lineno, f"dead link: ({target})"
+        for match in FILE_REF_RE.finditer(line):
+            ref = match.group(1).rstrip("/")
+            # table rows often list "dir/file.py" roles; tolerate
+            # directories and files alike
+            if not (ROOT / ref).exists():
+                yield lineno, f"stale file reference: `{match.group(1)}`"
+        for match in MODULE_REF_RE.finditer(line):
+            dotted = match.group(1)
+            if not _module_exists(dotted):
+                yield lineno, f"stale module reference: `{dotted}`"
+
+
+def _module_exists(dotted: str) -> bool:
+    """True when some prefix of *dotted* is a module under ``src/``.
+
+    References like ``repro.eval.batch.RunSpec`` carry attribute
+    suffixes, so we accept the longest prefix that maps to a package or
+    module file and trust the rest (attribute-level checking would need
+    imports, which the docs job avoids).
+    """
+    parts = dotted.split(".")
+    for end in range(len(parts), 1, -1):
+        base = ROOT / "src" / pathlib.Path(*parts[:end])
+        if base.with_suffix(".py").exists() or (base / "__init__.py").exists():
+            return True
+    return False
+
+
+def main() -> int:
+    problems = 0
+    for path in doc_paths():
+        for lineno, message in iter_problems(path):
+            print(f"{path.relative_to(ROOT)}:{lineno}: {message}")
+            problems += 1
+    if problems:
+        print(f"\n{problems} documentation problem(s) found")
+        return 1
+    print(f"docs ok ({len(doc_paths())} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ Commands:
   ``fig15`` / ``ablation`` — regenerate the paper's tables and figures;
 * ``bench``    — batch-compile the Table-2 grid (multiprocessing +
   on-disk cache) and persist run-table / BENCH artifacts;
+* ``noise-sweep`` — Monte-Carlo yield sweep across noise-model and
+  resource-state coordinates (``BENCH_noise_sweep.json`` artifact);
 * ``export``   — emit a benchmark circuit as OpenQASM 2.0.
 """
 
@@ -202,6 +204,32 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_noise_sweep(args) -> int:
+    import pathlib
+
+    from repro import eval as evaluation
+
+    benchmarks = [(name, args.qubits) for name in args.benchmarks]
+    out_dir = pathlib.Path(args.out)
+    records = evaluation.run_noise_sweep(
+        benchmarks=benchmarks,
+        fusion_success=args.fusion_success,
+        cycle_loss=args.cycle_loss,
+        resource_states=args.resource_state,
+        shots=args.shots,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=pathlib.Path(args.cache) if args.cache else None,
+        out_dir=out_dir,
+        stem=args.stem,
+        label=args.label,
+    )
+    print(evaluation.render_run_records(records))
+    print(f"run table: {out_dir / (args.stem + '.json')}")
+    print(f"sweep:     {out_dir / ('BENCH_' + args.label + '.json')}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -277,6 +305,46 @@ def build_parser() -> argparse.ArgumentParser:
         "shuffle/verify) timing breakdown",
     )
 
+    p = sub.add_parser(
+        "noise-sweep",
+        help="Monte-Carlo yield sweep across noise and hardware "
+        "coordinates (Clifford benchmarks sample on the stabilizer "
+        "engine; others report the analytic yield only)",
+    )
+    p.add_argument(
+        "--benchmarks", nargs="+", default=["QFT", "QAOA", "RCA", "BV"],
+        help="benchmark names to sweep (QFT|QAOA|RCA|BV)",
+    )
+    p.add_argument("--qubits", type=int, default=16)
+    p.add_argument(
+        "--shots", type=int, default=2000,
+        help="Monte-Carlo shots per noise point (>=2000 recommended)",
+    )
+    p.add_argument(
+        "--fusion-success", type=float, nargs="+", default=[0.5, 0.75],
+        help="fusion success probabilities to sweep (0.5 bare, "
+        "0.75 boosted)",
+    )
+    p.add_argument(
+        "--cycle-loss", type=float, nargs="+", default=[0.001, 0.01],
+        help="per-photon per-clock-cycle delay-line loss probabilities",
+    )
+    p.add_argument(
+        "--resource-state", nargs="+", default=["3-line"],
+        choices=["3-line", "4-line", "4-star", "4-ring"],
+        help="resource-state types to sweep",
+    )
+    p.add_argument("--jobs", type=int, default=None, help="worker processes")
+    p.add_argument(
+        "--out", default="benchmarks/results", help="artifact directory"
+    )
+    p.add_argument("--cache", default=None, help="on-disk result cache dir")
+    p.add_argument("--stem", default="noise_sweep", help="run-table stem")
+    p.add_argument(
+        "--label", default="noise_sweep", help="BENCH_<label>.json name"
+    )
+    p.add_argument("--seed", type=int, default=7)
+
     return parser
 
 
@@ -290,6 +358,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_export(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "noise-sweep":
+        return cmd_noise_sweep(args)
     return cmd_table(args, args.command)
 
 

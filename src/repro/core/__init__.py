@@ -34,7 +34,15 @@ from repro.core.planarity import (
 )
 from repro.core.render import render_layer, render_program
 from repro.core.shuffling import ShuffleLayer, ShuffleResult, connect_pairs
-from repro.core.validate import ValidationError, assert_valid, validate_program
+from repro.core.validate import (
+    PatternVerification,
+    ValidationError,
+    YieldEstimate,
+    assert_valid,
+    estimate_yield,
+    validate_program,
+    verify_pattern,
+)
 
 __all__ = [
     "CompiledProgram",
@@ -48,11 +56,15 @@ __all__ = [
     "OneQConfig",
     "PartitionConfig",
     "Placement",
+    "PatternVerification",
     "ShuffleLayer",
     "ShuffleResult",
     "ValidationError",
+    "YieldEstimate",
     "assert_valid",
+    "estimate_yield",
     "validate_program",
+    "verify_pattern",
     "build_fusion_graph",
     "compile_circuit",
     "connect_pairs",

@@ -28,7 +28,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Run-table columns, in on-disk CSV order.  Meanings:
 #:   key                 content hash of the spec (cache identity)
@@ -49,6 +49,18 @@ SCHEMA_VERSION = 2
 #:       (``verify=True`` specs): did the compiled pattern implement the
 #:       circuit, which engine checked it (stabilizer for Clifford
 #:       patterns, statevector for small dense ones, skipped otherwise)
+#:   noise     NoiseModel overrides as "name=value,..." ("" = defaults)
+#:   shots     Monte-Carlo shots actually sampled (0 = no sampling ran,
+#:       including non-Clifford programs where only the analytic yield
+#:       applies)
+#:   yield_mc  fraction of shots whose executed output passed the
+#:       stabilizer check (None for non-Clifford programs: analytic only)
+#:   yield_analytic   closed-form zero-fault probability from the
+#:       compiled program's fault counts
+#:   mc_attempts_per_fusion   mean sampled fusion attempts per required
+#:       fusion (repeat-until-success; expected 1/fusion_success — the
+#:       observable the fusion_success axis moves)
+#:   mc_seconds   wall seconds of the Monte-Carlo stage
 #:   cached    True when the row came from the on-disk cache
 RUN_TABLE_COLUMNS: List[str] = [
     "key",
@@ -88,6 +100,12 @@ RUN_TABLE_COLUMNS: List[str] = [
     "verified",
     "verify_method",
     "verify_seconds",
+    "noise",
+    "shots",
+    "yield_mc",
+    "yield_analytic",
+    "mc_attempts_per_fusion",
+    "mc_seconds",
     "cached",
 ]
 
@@ -113,6 +131,11 @@ class RunSpec:
     #: semantically verify the compiled pattern against the circuit
     #: (auto-picking the stabilizer or statevector engine)
     verify: bool = False
+    #: Monte-Carlo shots for noisy execution (0 disables the MC stage)
+    shots: int = 0
+    #: ``NoiseModel`` overrides as a sorted tuple of (name, value), e.g.
+    #: ``(("cycle_loss", 0.01), ("fusion_success", 0.5))``
+    noise: Tuple[Tuple[str, float], ...] = ()
     #: extra ``OneQConfig`` kwargs as a sorted tuple of (name, value)
     compiler_options: Tuple[Tuple[str, object], ...] = ()
 
@@ -120,12 +143,17 @@ class RunSpec:
     def label(self) -> str:
         return f"{self.benchmark}-{self.num_qubits}"
 
+    def noise_label(self) -> str:
+        """Canonical "name=value,..." string of the noise overrides."""
+        return ",".join(f"{k}={v}" for k, v in sorted(self.noise))
+
     def key(self) -> str:
         """Content hash: identical specs share cache entries."""
         payload = asdict(self)
         payload["compiler_options"] = sorted(
             (str(k), repr(v)) for k, v in self.compiler_options
         )
+        payload["noise"] = sorted((str(k), repr(v)) for k, v in self.noise)
         blob = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha1(blob.encode()).hexdigest()[:16]
 
@@ -171,6 +199,12 @@ class RunRecord:
     verified: Optional[bool] = None
     verify_method: Optional[str] = None
     verify_seconds: float = 0.0
+    noise: str = ""
+    shots: int = 0
+    yield_mc: Optional[float] = None
+    yield_analytic: Optional[float] = None
+    mc_attempts_per_fusion: Optional[float] = None
+    mc_seconds: float = 0.0
     cached: bool = False
 
     @property
@@ -220,6 +254,30 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         verified = report.ok
         verify_method = report.method
         verify_seconds = report.seconds
+
+    yield_mc = yield_analytic = mc_attempts = None
+    mc_shots = 0
+    mc_seconds = 0.0
+    if spec.shots > 0:
+        from repro.core.validate import estimate_yield
+        from repro.hardware.noise import NoiseModel
+        from repro.sim.noisy import FaultCounts
+
+        estimate = estimate_yield(
+            circuit,
+            pattern=pattern,
+            model=NoiseModel(**dict(spec.noise)),
+            shots=spec.shots,
+            seed=spec.seed,
+            counts=FaultCounts.from_program(program),
+        )
+        # estimate.shots is 0 when no sampling engine applied
+        # (non-Clifford program, analytic-only fallback)
+        mc_shots = estimate.shots
+        yield_mc = estimate.yield_mc
+        yield_analytic = estimate.yield_analytic
+        mc_attempts = estimate.attempts_per_fusion
+        mc_seconds = estimate.seconds
 
     baseline_depth = baseline_fusions = None
     depth_improvement = fusion_improvement = None
@@ -274,6 +332,12 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         verified=verified,
         verify_method=verify_method,
         verify_seconds=verify_seconds,
+        noise=spec.noise_label(),
+        shots=mc_shots,
+        yield_mc=yield_mc,
+        yield_analytic=yield_analytic,
+        mc_attempts_per_fusion=mc_attempts,
+        mc_seconds=mc_seconds,
     )
 
 
@@ -288,6 +352,7 @@ def _spec_from_dict(payload: Dict) -> RunSpec:
     payload["compiler_options"] = tuple(
         (k, v) for k, v in payload.get("compiler_options", ())
     )
+    payload["noise"] = tuple((k, v) for k, v in payload.get("noise", ()))
     return RunSpec(**payload)
 
 
@@ -536,11 +601,63 @@ def render_run_records(records: Sequence[RunRecord]) -> str:
                 f"  verify[{r.verify_method}]="
                 f"{'ok' if r.verified else 'FAILED'}"
             )
+        noisy = ""
+        if r.yield_analytic is not None:
+            if r.yield_mc is not None:
+                noisy = (
+                    f"  yield_mc={r.yield_mc:.4f} "
+                    f"analytic={r.yield_analytic:.4f} ({r.shots} shots)"
+                )
+            else:
+                noisy = f"  yield=analytic-only:{r.yield_analytic:.4f}"
         lines.append(
             f"{r.label}: depth={r.depth} fusions={r.num_fusions:,} "
-            f"[{origin}]{improvement}{verify}"
+            f"[{origin}]{improvement}{verify}{noisy}"
         )
     return "\n".join(lines)
+
+
+def write_noise_sweep_json(
+    records: Sequence[RunRecord],
+    path: pathlib.Path,
+    label: str = "noise_sweep",
+    meta: Optional[Dict] = None,
+) -> pathlib.Path:
+    """Write a ``BENCH_noise_sweep.json``-style yield-sweep artifact.
+
+    One entry per (benchmark, resource state, noise point), keyed
+    ``"<label>@<resource_state>[<noise overrides>]"``, carrying both the
+    Monte-Carlo and analytic yields so the noise trajectory can be
+    tracked across PRs the same way compile times are.
+    """
+    path = pathlib.Path(path)
+    runs: Dict[str, Dict] = {}
+    for record in records:
+        key = f"{record.label}@{record.resource_state}[{record.noise}]"
+        runs[key] = {
+            "benchmark": record.benchmark,
+            "num_qubits": record.num_qubits,
+            "resource_state": record.resource_state,
+            "noise": record.noise,
+            "shots": record.shots,
+            "yield_mc": record.yield_mc,
+            "yield_analytic": record.yield_analytic,
+            "mc_attempts_per_fusion": record.mc_attempts_per_fusion,
+            "mc_seconds": round(record.mc_seconds, 4),
+            "depth": record.depth,
+            "fusions": record.num_fusions,
+            "cached": record.cached,
+        }
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "meta": meta or {},
+        "runs": runs,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1))
+    return path
 
 
 def render_stage_profile(records: Sequence[RunRecord]) -> str:

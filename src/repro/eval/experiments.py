@@ -252,6 +252,122 @@ def run_fidelity(
 
 
 # ----------------------------------------------------------------------
+# Noise sweep: Monte-Carlo yield across noise x hardware coordinates
+# ----------------------------------------------------------------------
+#: Default 16-qubit grid for the noise sweep (one Clifford benchmark —
+#: BV — gets full Monte-Carlo treatment; the rest are analytic-only).
+NOISE_SWEEP_BENCHMARKS: List[Tuple[str, int]] = [
+    ("QFT", 16),
+    ("QAOA", 16),
+    ("RCA", 16),
+    ("BV", 16),
+]
+
+
+def noise_sweep_specs(
+    benchmarks: Optional[Sequence[Tuple[str, int]]] = None,
+    fusion_success: Sequence[float] = (0.5, 0.75),
+    cycle_loss: Sequence[float] = (0.001, 0.01),
+    resource_states: Sequence[str] = ("3-line",),
+    shots: int = 2000,
+    seed: int = 7,
+):
+    """Build the spec grid for :func:`run_noise_sweep`.
+
+    One :class:`repro.eval.batch.RunSpec` per (benchmark, resource
+    state, fusion_success, cycle_loss) coordinate; every spec carries
+    ``shots`` Monte-Carlo shots and its noise overrides, so yields land
+    in the schema-v3 run-table columns.
+    """
+    from repro.eval.batch import RunSpec
+
+    benchmarks = list(benchmarks or NOISE_SWEEP_BENCHMARKS)
+    specs = []
+    for name, n in benchmarks:
+        for rst_name in resource_states:
+            for fs in fusion_success:
+                for cl in cycle_loss:
+                    specs.append(
+                        RunSpec(
+                            benchmark=name,
+                            num_qubits=n,
+                            seed=seed,
+                            resource_state=rst_name,
+                            shots=shots,
+                            noise=(
+                                ("cycle_loss", float(cl)),
+                                ("fusion_success", float(fs)),
+                            ),
+                        )
+                    )
+    return specs
+
+
+def run_noise_sweep(
+    benchmarks: Optional[Sequence[Tuple[str, int]]] = None,
+    fusion_success: Sequence[float] = (0.5, 0.75),
+    cycle_loss: Sequence[float] = (0.001, 0.01),
+    resource_states: Sequence[str] = ("3-line",),
+    shots: int = 2000,
+    seed: int = 7,
+    jobs: Optional[int] = None,
+    cache_dir=None,
+    out_dir=None,
+    stem: str = "noise_sweep",
+    label: str = "noise_sweep",
+):
+    """Sweep noise-model and hardware coordinates, sampling yields.
+
+    The paper's whole argument is hardware-physical: compiled-program
+    quality is ultimately end-to-end success probability (Sec. 2.1,
+    3.1).  This runner makes that a first-class sweepable workload:
+    each benchmark is compiled per resource-state choice, its compiled
+    fault counts feed the Monte-Carlo sampler per noise point, and the
+    run table gains ``yield_mc`` / ``yield_analytic`` columns.  When
+    *out_dir* is given, artifacts (``<stem>.json``/``.csv`` +
+    ``BENCH_<label>.json``) are persisted there.
+
+    Args mirror :func:`noise_sweep_specs`; ``jobs``/``cache_dir`` are
+    forwarded to :class:`repro.eval.batch.BatchRunner`.
+    """
+    from repro.eval.batch import (
+        BatchRunner,
+        write_noise_sweep_json,
+        write_run_table,
+    )
+
+    specs = noise_sweep_specs(
+        benchmarks,
+        fusion_success=fusion_success,
+        cycle_loss=cycle_loss,
+        resource_states=resource_states,
+        shots=shots,
+        seed=seed,
+    )
+    runner = BatchRunner(jobs=jobs, cache_dir=cache_dir)
+    records = runner.run(specs)
+    if out_dir is not None:
+        meta = {
+            "grid": "noise_sweep",
+            "seed": seed,
+            "shots": shots,
+            "fusion_success": list(fusion_success),
+            "cycle_loss": list(cycle_loss),
+            "resource_states": list(resource_states),
+        }
+        write_run_table(records, out_dir, stem=stem, meta=meta)
+        import pathlib
+
+        write_noise_sweep_json(
+            records,
+            pathlib.Path(out_dir) / f"BENCH_{label}.json",
+            label=label,
+            meta=meta,
+        )
+    return records
+
+
+# ----------------------------------------------------------------------
 # Ablations: the design choices DESIGN.md calls out
 # ----------------------------------------------------------------------
 def run_ablation(

@@ -14,6 +14,7 @@ from repro.hardware.noise import (
     fidelity_improvement_factor,
     log_fidelity,
     program_log_fidelity,
+    success_probability,
 )
 from repro.hardware.resource_state import (
     FOUR_LINE,
@@ -43,5 +44,6 @@ __all__ = [
     "fidelity_improvement_factor",
     "log_fidelity",
     "program_log_fidelity",
+    "success_probability",
     "get_resource_state",
 ]

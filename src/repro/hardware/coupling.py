@@ -130,11 +130,13 @@ class SpaceTimeCouplingGraph:
         self.graph = g
 
     def spatial_neighbors(self, coord: SpaceTimeCoord) -> Iterator[SpaceTimeCoord]:
+        """Same-layer 4-neighbour RSG coordinates of *coord*."""
         for nbr in self.graph.neighbors(coord):
             if self.graph.edges[coord, nbr]["kind"] == "spatial":
                 yield nbr
 
     def temporal_neighbors(self, coord: SpaceTimeCoord) -> Iterator[SpaceTimeCoord]:
+        """Delay-line neighbours: same RSG, within ``max_delay`` cycles."""
         for nbr in self.graph.neighbors(coord):
             if self.graph.edges[coord, nbr]["kind"] == "temporal":
                 yield nbr

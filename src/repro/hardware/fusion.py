@@ -28,6 +28,7 @@ class FusionTally:
 
     @property
     def total(self) -> int:
+        """All fusions across the four categories (units: fusions)."""
         return self.synthesis + self.edge + self.routing + self.shuffling
 
     @property
@@ -36,6 +37,8 @@ class FusionTally:
         return 2 * self.total
 
     def add(self, kind: str, count: int = 1) -> None:
+        """Add *count* fusions of *kind* (synthesis / edge / routing /
+        shuffling); negative counts and unknown kinds raise."""
         if count < 0:
             raise ValueError("fusion count cannot be negative")
         if kind == "synthesis":
@@ -50,6 +53,7 @@ class FusionTally:
             raise ValueError(f"unknown fusion kind {kind!r}")
 
     def merge(self, other: "FusionTally") -> None:
+        """Accumulate *other*'s counters (including ``extra``) in place."""
         self.synthesis += other.synthesis
         self.edge += other.edge
         self.routing += other.routing
@@ -59,6 +63,7 @@ class FusionTally:
             self.extra[key] = self.extra.get(key, 0) + value
 
     def as_dict(self) -> Dict[str, int]:
+        """Plain-dict snapshot (category counts, total, Z measurements)."""
         return {
             "synthesis": self.synthesis,
             "edge": self.edge,

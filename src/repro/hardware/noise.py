@@ -53,22 +53,66 @@ def log_fidelity(
     photon_cycles: int,
     model: NoiseModel = DEFAULT_NOISE,
 ) -> float:
-    """Natural-log fidelity of one (post-selected) program execution.
+    """Natural-log probability that an execution sees *zero* error events.
+
+    Args:
+        num_fusions: fusion operations performed (each errs independently
+            with probability ``model.fusion_error``).
+        num_measurements: single-photon measurements, including the final
+            readout of output photons (each flips with probability
+            ``model.measurement_error``).
+        photon_cycles: photon x clock-cycle delay-line waits (each loses
+            the photon with probability ``model.cycle_loss``).
 
     Multiplies per-fusion error survival, per-measurement survival and
     per-cycle photon survival.  Returned in log space because realistic
-    programs have thousands of events.
+    programs have thousands of events; ``-inf`` when any event is
+    certain to fail (a rate of exactly 1 with a positive count).
+
+    >>> model = NoiseModel(fusion_error=0.1, cycle_loss=0.0,
+    ...                    measurement_error=0.0)
+    >>> round(log_fidelity(2, 0, 0, model), 6) == round(2 * math.log(0.9), 6)
+    True
+    >>> log_fidelity(1, 0, 0, NoiseModel(fusion_error=1.0))
+    -inf
     """
     if min(num_fusions, num_measurements, photon_cycles) < 0:
         raise ValueError("event counts cannot be negative")
     out = 0.0
-    if model.fusion_error > 0:
-        out += num_fusions * math.log1p(-model.fusion_error)
-    if model.measurement_error > 0:
-        out += num_measurements * math.log1p(-model.measurement_error)
-    if model.cycle_loss > 0:
-        out += photon_cycles * math.log1p(-model.cycle_loss)
+    for rate, count in (
+        (model.fusion_error, num_fusions),
+        (model.measurement_error, num_measurements),
+        (model.cycle_loss, photon_cycles),
+    ):
+        if rate >= 1.0:
+            if count > 0:
+                return float("-inf")
+        elif rate > 0.0:
+            out += count * math.log1p(-rate)
     return out
+
+
+def success_probability(
+    num_fusions: int,
+    num_measurements: int,
+    photon_cycles: int,
+    model: NoiseModel = DEFAULT_NOISE,
+) -> float:
+    """Linear-space companion of :func:`log_fidelity`.
+
+    The probability that one execution experiences no fusion error, no
+    measurement flip and no photon loss — the quantity the Monte-Carlo
+    sampler's fault-free shot rate estimates (``repro.sim.noisy``).
+
+    >>> model = NoiseModel(fusion_error=0.1, cycle_loss=0.0,
+    ...                    measurement_error=0.0)
+    >>> round(success_probability(2, 0, 0, model), 4)
+    0.81
+    >>> success_probability(0, 0, 5, NoiseModel(cycle_loss=1.0))
+    0.0
+    """
+    lf = log_fidelity(num_fusions, num_measurements, photon_cycles, model)
+    return 0.0 if lf == float("-inf") else math.exp(lf)
 
 
 def expected_fusion_attempts(
@@ -79,6 +123,9 @@ def expected_fusion_attempts(
     Linear-optics fusions herald failure; with repeat-until-success
     (and enough resource-state supply) the expected attempt count is
     ``num_fusions / fusion_success``.
+
+    >>> expected_fusion_attempts(75)  # boosted fusions, p = 0.75
+    100.0
     """
     if num_fusions < 0:
         raise ValueError("num_fusions cannot be negative")

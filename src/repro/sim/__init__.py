@@ -1,5 +1,11 @@
-"""Simulation substrates: dense statevector, MBQC pattern, stabilizer."""
+"""Simulation substrates: statevector, MBQC pattern, stabilizer, noisy MC."""
 
+from repro.sim.noisy import (
+    FaultCounts,
+    NoisySampler,
+    NoisySampleResult,
+    sample_yield,
+)
 from repro.sim.pattern_sim import (
     PatternResult,
     PatternSimulator,
@@ -23,6 +29,9 @@ from repro.sim.statevector import (
 )
 
 __all__ = [
+    "FaultCounts",
+    "NoisySampleResult",
+    "NoisySampler",
     "PatternResult",
     "PatternSimulator",
     "PauliString",
@@ -36,6 +45,7 @@ __all__ = [
     "gate_matrix",
     "j_matrix",
     "pattern_is_clifford",
+    "sample_yield",
     "simulate",
     "simulate_pattern",
     "simulate_pattern_stabilizer",

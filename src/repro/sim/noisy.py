@@ -1,0 +1,391 @@
+"""Monte-Carlo noisy execution of Clifford measurement patterns.
+
+The closed-form :mod:`repro.hardware.noise` model predicts the
+probability that one execution of a compiled program sees *zero* error
+events.  This module samples the actual fault process shot by shot and
+executes the pattern under each sampled fault configuration on the
+bit-packed stabilizer tableau, producing two yields per run:
+
+* ``fault_free_yield`` — the fraction of shots in which no error event
+  fired at all.  Its expectation is exactly the analytic
+  :func:`repro.hardware.noise.success_probability`, which makes the two
+  code paths cross-validate each other (the CI gate in
+  ``tests/sim/test_noisy.py`` enforces 3-sigma binomial agreement).
+* ``yield_mc`` — the fraction of shots whose *executed* output state
+  still satisfies every stabilizer generator of the ideal circuit
+  output.  This is new information the closed form cannot provide:
+  faults that land in the output state's stabilizer group (e.g. Z errors
+  on a basis-state output) are benign, so ``yield_mc >=
+  fault_free_yield`` and the gap measures the benign-fault fraction.
+
+Sampled fault channels, per shot (probabilities are per event):
+
+* **fusion failure** (``p = 1 - fusion_success``): linear-optics fusions
+  herald failure; with repeat-until-success the shot still proceeds but
+  burns extra attempts, tallied in ``fusion_attempts`` (expected
+  ``fusions / fusion_success``).
+* **photon loss** (``cycle_loss`` per photon per clock cycle in a delay
+  line): loss is heralded by the fusion/measurement detectors, so a lost
+  photon aborts the shot outright (``loss_aborts``).
+* **fusion Pauli error** (``fusion_error`` per fusion): a uniformly
+  random X/Y/Z on a uniformly random cluster photon, injected into the
+  tableau as a sign update before the measurement sequence runs.
+* **measurement flip** (``measurement_error`` per measurement, counting
+  output readout): a measured node's *recorded* outcome bit is
+  complemented — feed-forward and byproduct corrections then act on the
+  wrong bit.  Flips that land on output-readout slots corrupt the
+  classical result directly and fail the shot.
+
+Shots with zero fault events never touch the tableau: a fault-free
+execution deterministically passes the stabilizer check (verified once
+per sampler as a calibration shot), so only faulty shots pay for a full
+tableau run.  At realistic error rates this makes large shot counts
+cheap.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.hardware.noise import DEFAULT_NOISE, NoiseModel, success_probability
+from repro.mbqc.pattern import MeasurementPattern
+from repro.sim.pattern_sim import (
+    StabilizerPatternResult,
+    StabilizerPatternSimulator,
+    pattern_is_clifford,
+)
+from repro.sim.stabilizer import StabilizerState, circuit_is_clifford
+
+
+@dataclass(frozen=True)
+class FaultCounts:
+    """Error-prone event counts of one program execution.
+
+    Attributes:
+        fusions: fusion operations (units: fusions; each may fail or
+            introduce a Pauli error).
+        measurements: single-photon measurements *including* the final
+            readout of output photons (units: measurements).
+        photon_cycles: photon x clock-cycle waits in delay lines (units:
+            photon-cycles; each may lose the photon).
+    """
+
+    fusions: int
+    measurements: int
+    photon_cycles: int
+
+    def __post_init__(self) -> None:
+        if min(self.fusions, self.measurements, self.photon_cycles) < 0:
+            raise ValueError("event counts cannot be negative")
+
+    @classmethod
+    def from_pattern(cls, pattern: MeasurementPattern) -> "FaultCounts":
+        """Pattern-level accounting: one fusion per graph edge, one
+        measurement per node (outputs are read out), one cycle of delay
+        per photon.  The leanest consistent estimate for a pattern that
+        has not been mapped to hardware."""
+        n = pattern.graph.number_of_nodes()
+        return cls(
+            fusions=pattern.graph.number_of_edges(),
+            measurements=n,
+            photon_cycles=n,
+        )
+
+    @classmethod
+    def from_program(cls, program) -> "FaultCounts":
+        """Compiled-program accounting, matching
+        :func:`repro.hardware.noise.program_log_fidelity`: the mapper's
+        fusion tally, one measurement per pattern node, and a pessimistic
+        three photon-cycles per resource state consumed."""
+        return cls(
+            fusions=program.num_fusions,
+            measurements=program.pattern_nodes,
+            photon_cycles=program.resource_states_used * 3,
+        )
+
+    def analytic_yield(self, model: NoiseModel = DEFAULT_NOISE) -> float:
+        """Closed-form probability of a zero-fault execution."""
+        return success_probability(
+            self.fusions, self.measurements, self.photon_cycles, model
+        )
+
+
+@dataclass
+class NoisySampleResult:
+    """Tally of one :meth:`NoisySampler.run` call.
+
+    All counters are shot counts except ``fusion_attempts`` (total fusion
+    attempts across all shots, including repeat-until-success retries)
+    and ``seconds`` (wall time of the run).
+    """
+
+    shots: int
+    successes: int
+    fault_free: int
+    loss_aborts: int
+    logical_failures: int
+    executed: int
+    fusion_attempts: int
+    counts: FaultCounts
+    model: NoiseModel
+    seconds: float = 0.0
+
+    @property
+    def yield_mc(self) -> float:
+        """Fraction of shots whose output state passed the stabilizer
+        check (fault-free shots pass by calibration)."""
+        return self.successes / self.shots
+
+    @property
+    def fault_free_yield(self) -> float:
+        """Fraction of shots with zero sampled fault events — the
+        Monte-Carlo estimator of :meth:`FaultCounts.analytic_yield`."""
+        return self.fault_free / self.shots
+
+    @property
+    def yield_analytic(self) -> float:
+        """Closed-form prediction for ``fault_free_yield``."""
+        return self.counts.analytic_yield(self.model)
+
+    @property
+    def sigma(self) -> float:
+        """Binomial standard error of ``fault_free_yield`` at the
+        analytic success probability."""
+        p = self.yield_analytic
+        return math.sqrt(p * (1.0 - p) / self.shots)
+
+    @property
+    def attempts_per_fusion(self) -> float:
+        """Mean sampled fusion attempts per required fusion (expected
+        ``1 / fusion_success`` under repeat-until-success)."""
+        total = self.shots * self.counts.fusions
+        if total == 0:
+            return 1.0
+        return self.fusion_attempts / total
+
+    def agrees_with_analytic(self, k: float = 3.0) -> bool:
+        """True when the sampled fault-free rate is within ``k`` binomial
+        standard errors of the closed-form prediction (exact match
+        required when the prediction is degenerate, i.e. 0 or 1)."""
+        return abs(self.fault_free_yield - self.yield_analytic) <= k * self.sigma
+
+    def summary(self) -> str:
+        """One-line human-readable digest of the tally."""
+        return (
+            f"shots={self.shots} yield_mc={self.yield_mc:.4f} "
+            f"fault_free={self.fault_free_yield:.4f} "
+            f"analytic={self.yield_analytic:.4f} "
+            f"(loss_aborts={self.loss_aborts}, "
+            f"logical_failures={self.logical_failures}, "
+            f"executed={self.executed}, "
+            f"attempts/fusion={self.attempts_per_fusion:.3f})"
+        )
+
+
+class NoisySampler:
+    """Batched Monte-Carlo noisy executor for Clifford patterns.
+
+    Args:
+        circuit: the source circuit (defines the ideal output stabilizer
+            group the per-shot check tests against).  Must be Clifford.
+        pattern: the measurement pattern to execute; defaults to the
+            translation of *circuit*.  Must be Clifford (every
+            measurement at a Pauli angle).
+        model: per-event error probabilities (see
+            :class:`repro.hardware.noise.NoiseModel`).
+        counts: fault-event counts per shot; defaults to
+            :meth:`FaultCounts.from_pattern`.  Pass
+            :meth:`FaultCounts.from_program` for compiled-program
+            accounting.
+        seed: seeds both the fault sampling and every shot's tableau
+            RNG; two samplers with equal arguments and seed produce
+            identical results bit for bit.
+
+    Fault configurations for all shots are sampled vectorized up front;
+    only shots with at least one non-loss fault event execute on the
+    tableau (base graph state built once, copied per faulty shot).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        pattern: Optional[MeasurementPattern] = None,
+        model: NoiseModel = DEFAULT_NOISE,
+        counts: Optional[FaultCounts] = None,
+        seed: Optional[int] = None,
+    ):
+        from repro.mbqc.translate import circuit_to_pattern
+
+        if not circuit_is_clifford(circuit):
+            raise ValueError(
+                "NoisySampler needs a Clifford circuit; non-Clifford "
+                "programs have no scalable exact reference"
+            )
+        if pattern is None:
+            pattern = circuit_to_pattern(circuit)
+        if not pattern_is_clifford(pattern):
+            raise ValueError(
+                "NoisySampler needs a Clifford pattern (every measurement "
+                "at a Pauli angle)"
+            )
+        if len(pattern.outputs) != circuit.num_qubits:
+            raise ValueError(
+                f"pattern has {len(pattern.outputs)} outputs for a "
+                f"{circuit.num_qubits}-qubit circuit"
+            )
+        self.circuit = circuit
+        self.pattern = pattern
+        self.model = model
+        self.counts = counts or FaultCounts.from_pattern(pattern)
+        self.seed = seed
+        self._outputs = frozenset(pattern.outputs)
+        # node list in tableau-qubit order: graph_state sorts nodes, so
+        # qubit i of the base tableau hosts self._nodes[i]
+        self._nodes: List[int] = sorted(pattern.graph.nodes())
+        self._base, self._index = StabilizerState.graph_state(
+            pattern.graph, zero_nodes=pattern.inputs
+        )
+        circuit_state = StabilizerState(circuit.num_qubits)
+        circuit_state.apply_circuit(circuit)
+        self._circuit_rows = circuit_state.stabilizer_rows()
+        # calibration: a fault-free execution must pass the stabilizer
+        # check, or counting zero-fault shots as successes would be wrong
+        if not self._execute_shot(
+            np.random.default_rng(self.seed), (), frozenset()
+        ):
+            raise RuntimeError(
+                "fault-free execution failed the stabilizer check; "
+                "the pattern does not implement the circuit"
+            )
+
+    # ------------------------------------------------------------------
+    def _stabilizers_hold(self, result: StabilizerPatternResult) -> bool:
+        """All ideal-circuit stabilizer generators hold, with sign, on
+        the pattern's output qubits."""
+        for gx, gz, gr in self._circuit_rows:
+            pauli = result.output_pauli(self.pattern.outputs, gx, gz)
+            if result.state.expectation(pauli) != gr:
+                return False
+        return True
+
+    def _execute_shot(
+        self,
+        rng: np.random.Generator,
+        pauli_faults: Tuple[Tuple[int, str], ...],
+        outcome_flips: frozenset,
+    ) -> bool:
+        """Run one shot on a copy of the base tableau; True on success."""
+        state = self._base.copy()
+        state.rng = rng
+        for qubit, which in pauli_faults:
+            getattr(state, which)(qubit)
+        simulator = StabilizerPatternSimulator(
+            self.pattern, outcome_flips=outcome_flips
+        )
+        result = simulator.run(prepared=(state, self._index))
+        return self._stabilizers_hold(result)
+
+    # ------------------------------------------------------------------
+    def run(self, shots: int) -> NoisySampleResult:
+        """Sample and execute *shots* noisy shots; returns the tally."""
+        if shots <= 0:
+            raise ValueError("shots must be positive")
+        t0 = time.perf_counter()
+        counts, model = self.counts, self.model
+        root = np.random.SeedSequence(self.seed)
+        master_seed, *shot_seeds = root.spawn(shots + 1)
+        rng = np.random.default_rng(master_seed)
+
+        def event_counts(n_events: int, rate: float) -> np.ndarray:
+            if n_events == 0 or rate <= 0.0:
+                return np.zeros(shots, dtype=np.int64)
+            return rng.binomial(n_events, min(rate, 1.0), size=shots)
+
+        losses = event_counts(counts.photon_cycles, model.cycle_loss)
+        fusion_errors = event_counts(counts.fusions, model.fusion_error)
+        meas_errors = event_counts(counts.measurements, model.measurement_error)
+        if counts.fusions and model.fusion_success < 1.0:
+            attempts = counts.fusions + rng.negative_binomial(
+                counts.fusions, model.fusion_success, size=shots
+            )
+        else:
+            attempts = np.full(shots, counts.fusions, dtype=np.int64)
+
+        n_qubits = self._base.n
+        n_nodes = len(self._nodes)
+        successes = fault_free = loss_aborts = 0
+        logical_failures = executed = 0
+        pauli_gates = ("x_gate", "y_gate", "z_gate")
+        for i in range(shots):
+            if losses[i] > 0:
+                loss_aborts += 1
+                continue
+            n_fus, n_meas = int(fusion_errors[i]), int(meas_errors[i])
+            if n_fus == 0 and n_meas == 0:
+                fault_free += 1
+                successes += 1
+                continue
+            shot_rng = np.random.default_rng(shot_seeds[i])
+            pauli_faults = tuple(
+                (int(q), pauli_gates[int(p)])
+                for q, p in zip(
+                    shot_rng.integers(0, n_qubits, size=n_fus),
+                    shot_rng.integers(0, 3, size=n_fus),
+                )
+            )
+            # the binomial draw counts *distinct* erring measurements, so
+            # flip slots are placed without replacement
+            flips = set()
+            readout_flip = False
+            for slot in shot_rng.choice(
+                counts.measurements, size=n_meas, replace=False
+            ):
+                node = self._nodes[slot] if slot < n_nodes else None
+                if node is None or node in self._outputs:
+                    readout_flip = True
+                else:
+                    flips.add(node)
+            if readout_flip:
+                # a flipped output readout is classically wrong whatever
+                # the quantum state; no tableau run needed
+                logical_failures += 1
+                continue
+            executed += 1
+            if self._execute_shot(shot_rng, pauli_faults, frozenset(flips)):
+                successes += 1
+            else:
+                logical_failures += 1
+
+        return NoisySampleResult(
+            shots=shots,
+            successes=successes,
+            fault_free=fault_free,
+            loss_aborts=loss_aborts,
+            logical_failures=logical_failures,
+            executed=executed,
+            fusion_attempts=int(attempts.sum()),
+            counts=counts,
+            model=model,
+            seconds=time.perf_counter() - t0,
+        )
+
+
+def sample_yield(
+    circuit: Circuit,
+    shots: int = 2000,
+    pattern: Optional[MeasurementPattern] = None,
+    model: NoiseModel = DEFAULT_NOISE,
+    counts: Optional[FaultCounts] = None,
+    seed: Optional[int] = 7,
+) -> NoisySampleResult:
+    """One-call convenience wrapper around :class:`NoisySampler`."""
+    sampler = NoisySampler(
+        circuit, pattern=pattern, model=model, counts=counts, seed=seed
+    )
+    return sampler.run(shots)

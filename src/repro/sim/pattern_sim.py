@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -303,6 +303,12 @@ class StabilizerPatternSimulator:
     its *actual* Pauli basis — the adaptive angle ``(-1)^s alpha + t pi``
     stays a Pauli angle when ``alpha`` is one.  Input nodes are prepared
     in ``|0>`` exactly as the dense simulator does.
+
+    ``outcome_flips`` models classical measurement (detector) errors: for
+    each listed node the *recorded* outcome bit — the one feed-forward
+    and byproduct corrections consume — is the complement of the physical
+    collapse branch.  :class:`repro.sim.noisy.NoisySampler` uses this to
+    inject sampled measurement errors.
     """
 
     def __init__(
@@ -310,6 +316,7 @@ class StabilizerPatternSimulator:
         pattern: MeasurementPattern,
         seed: Optional[int] = None,
         force_outcomes: Optional[Dict[int, int]] = None,
+        outcome_flips: Optional[Iterable[int]] = None,
     ):
         if not pattern_is_clifford(pattern):
             raise ValueError(
@@ -319,12 +326,28 @@ class StabilizerPatternSimulator:
         self.pattern = pattern
         self.seed = seed
         self.force_outcomes = force_outcomes or {}
+        self.outcome_flips = frozenset(outcome_flips or ())
 
-    def run(self) -> StabilizerPatternResult:
+    def run(
+        self,
+        prepared: Optional[Tuple[StabilizerState, Dict[int, int]]] = None,
+    ) -> StabilizerPatternResult:
+        """Execute the pattern; returns the full-tableau result record.
+
+        ``prepared`` optionally supplies a ``(state, node->qubit)`` pair —
+        a graph-state tableau built ahead of time (possibly with Pauli
+        faults already injected).  The caller owns that state: it is
+        consumed in place, so pass a copy when reusing a base tableau
+        across shots.  When omitted, the graph state is built fresh from
+        the pattern.
+        """
         pattern = self.pattern
-        state, index = StabilizerState.graph_state(
-            pattern.graph, seed=self.seed, zero_nodes=pattern.inputs
-        )
+        if prepared is None:
+            state, index = StabilizerState.graph_state(
+                pattern.graph, seed=self.seed, zero_nodes=pattern.inputs
+            )
+        else:
+            state, index = prepared
         outcomes: Dict[int, int] = {}
         for node in pattern.measurement_order():
             alpha = pattern.angles[node]
@@ -337,9 +360,12 @@ class StabilizerPatternSimulator:
             theta = ((-1.0) ** s) * alpha + t * math.pi
             basis, sign = _pauli_basis(theta)
             pauli = PauliString.from_ops(state.n, {index[node]: basis}, sign=sign)
-            outcomes[node] = state.measure_pauli(
+            outcome = state.measure_pauli(
                 pauli, force=self.force_outcomes.get(node)
             )
+            if node in self.outcome_flips:
+                outcome ^= 1
+            outcomes[node] = outcome
         for node in pattern.outputs:
             t = 0
             for src in pattern.output_z.get(node, frozenset()):

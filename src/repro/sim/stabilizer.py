@@ -206,6 +206,7 @@ class StabilizerState:
         return state, index
 
     def copy(self) -> "StabilizerState":
+        """Independent deep copy with a forked (never shared) RNG."""
         out = object.__new__(StabilizerState)
         out.n = self.n
         out.num_words = self.num_words
@@ -299,6 +300,7 @@ class StabilizerState:
     # Clifford gates
     # ------------------------------------------------------------------
     def h(self, q: int) -> None:
+        """Hadamard on qubit *q* (swaps the X and Z columns)."""
         w, mask = (q >> 6), _ONE << np.uint64(q & 63)
         xw, zw = self.x[:, w], self.z[:, w]
         self.r ^= (((xw & zw) & mask) != 0).astype(np.uint8)
@@ -307,29 +309,35 @@ class StabilizerState:
         self.z[:, w] ^= diff
 
     def s(self, q: int) -> None:
+        """Phase gate S on qubit *q*."""
         w, mask = (q >> 6), _ONE << np.uint64(q & 63)
         xw, zw = self.x[:, w], self.z[:, w]
         self.r ^= (((xw & zw) & mask) != 0).astype(np.uint8)
         self.z[:, w] ^= xw & mask
 
     def sdg(self, q: int) -> None:
+        """Inverse phase gate S-dagger on qubit *q*."""
         w, mask = (q >> 6), _ONE << np.uint64(q & 63)
         xw, zw = self.x[:, w], self.z[:, w]
         self.r ^= (((xw & ~zw) & mask) != 0).astype(np.uint8)
         self.z[:, w] ^= xw & mask
 
     def x_gate(self, q: int) -> None:
+        """Pauli X on qubit *q* (sign flip on rows with a Z there)."""
         self.r ^= self._column(self.z, q).astype(np.uint8)
 
     def y_gate(self, q: int) -> None:
+        """Pauli Y on qubit *q*."""
         self.r ^= (self._column(self.x, q) ^ self._column(self.z, q)).astype(
             np.uint8
         )
 
     def z_gate(self, q: int) -> None:
+        """Pauli Z on qubit *q* (sign flip on rows with an X there)."""
         self.r ^= self._column(self.x, q).astype(np.uint8)
 
     def cnot(self, control: int, target: int) -> None:
+        """CNOT with the given control and target qubits."""
         if control == target:
             raise ValueError("cnot needs distinct qubits")
         xc = self._column(self.x, control)
@@ -353,6 +361,7 @@ class StabilizerState:
         self.z[:, b >> 6] ^= xa << np.uint64(b & 63)
 
     def swap(self, a: int, b: int) -> None:
+        """Exchange qubits *a* and *b* (bit swap in every row)."""
         if a == b:
             return
         for mat in (self.x, self.z):
@@ -408,6 +417,7 @@ class StabilizerState:
     # measurements
     # ------------------------------------------------------------------
     def measure_z(self, q: int, force: Optional[int] = None) -> int:
+        """Z measurement of qubit *q*; returns ``m`` for outcome ``(-1)^m``."""
         pauli = PauliString.from_ops(self.n, {q: "z"})
         return self.measure_pauli(pauli, force=force)
 
@@ -482,6 +492,8 @@ class StabilizerState:
     # group inspection
     # ------------------------------------------------------------------
     def stabilizer_rows(self) -> List[Tuple[np.ndarray, np.ndarray, int]]:
+        """The ``n`` stabilizer generators as unpacked ``(x, z, sign)``
+        rows (0/1 vectors of length ``n``; sign ``0`` = +1, ``1`` = -1)."""
         return [
             (
                 _unpack_bits(self.x[i], self.n),
@@ -503,6 +515,7 @@ class StabilizerState:
         return _canonicalize(rows, self.n)
 
     def equals(self, other: "StabilizerState") -> bool:
+        """State equality via canonical stabilizer generating sets."""
         if self.n != other.n:
             return False
         return self.canonical_stabilizers() == other.canonical_stabilizers()

@@ -133,6 +133,7 @@ class Statevector:
             self.data = data.copy()
 
     def copy(self) -> "Statevector":
+        """Independent deep copy (amplitudes are duplicated)."""
         return Statevector(self.num_qubits, self.data)
 
     def apply_matrix(self, matrix: np.ndarray, qubits) -> None:
@@ -149,9 +150,11 @@ class Statevector:
         self.data = tensor.reshape(2**n)
 
     def apply_gate(self, gate: Gate) -> None:
+        """Apply one circuit :class:`Gate` (looked up via ``gate_matrix``)."""
         self.apply_matrix(gate_matrix(gate), list(gate.qubits))
 
     def probabilities(self) -> np.ndarray:
+        """Basis-state probability vector (little-endian index order)."""
         return np.abs(self.data) ** 2
 
     def measure_probability(self, qubit: int, outcome: int) -> float:

@@ -182,6 +182,160 @@ class TestVerifyStage:
         assert "verify[stabilizer]=ok" in render_run_records([record])
 
 
+class TestNoisyStage:
+    """Schema v3: Monte-Carlo yield columns in the run table."""
+
+    def test_mc_stage_off_by_default(self):
+        record = execute_spec(RunSpec("BV", 8))
+        assert record.shots == 0
+        assert record.yield_mc is None
+        assert record.yield_analytic is None
+        assert record.mc_seconds == 0.0
+        assert record.noise == ""
+
+    def test_clifford_benchmark_samples_yield(self):
+        record = execute_spec(RunSpec("BV", 8, shots=500))
+        assert record.shots == 500
+        assert 0.0 <= record.yield_mc <= 1.0
+        assert 0.0 < record.yield_analytic < 1.0
+        assert record.yield_mc >= 0.0
+        assert record.mc_seconds > 0.0
+        # boosted fusions retry ~1/0.75 times on average
+        assert record.mc_attempts_per_fusion == pytest.approx(4 / 3, rel=0.1)
+
+    def test_non_clifford_benchmark_analytic_only(self):
+        record = execute_spec(RunSpec("QFT", 8, shots=200))
+        assert record.yield_mc is None
+        assert record.yield_analytic is not None
+        # no sampling ran, so the recorded shot count must be 0
+        assert record.shots == 0
+        assert record.mc_attempts_per_fusion is None
+
+    def test_fusion_success_moves_sampled_attempts(self):
+        """The fusion_success sweep axis must be observable in the
+        record (yields are invariant under repeat-until-success, but
+        attempts are not)."""
+        bare = execute_spec(
+            RunSpec("BV", 8, shots=400, noise=(("fusion_success", 0.5),))
+        )
+        boosted = execute_spec(
+            RunSpec("BV", 8, shots=400, noise=(("fusion_success", 0.75),))
+        )
+        assert bare.mc_attempts_per_fusion == pytest.approx(2.0, rel=0.1)
+        assert boosted.mc_attempts_per_fusion == pytest.approx(4 / 3, rel=0.1)
+        assert bare.mc_attempts_per_fusion > boosted.mc_attempts_per_fusion
+
+    def test_noise_overrides_reach_the_model(self):
+        lossless = execute_spec(
+            RunSpec("BV", 8, shots=400, noise=(("cycle_loss", 0.0),))
+        )
+        lossy = execute_spec(
+            RunSpec("BV", 8, shots=400, noise=(("cycle_loss", 0.05),))
+        )
+        assert lossy.yield_analytic < lossless.yield_analytic
+        assert lossy.yield_mc < lossless.yield_mc
+        assert lossy.noise == "cycle_loss=0.05"
+
+    def test_shots_and_noise_change_cache_key(self):
+        base = RunSpec("BV", 8)
+        assert base.key() != RunSpec("BV", 8, shots=100).key()
+        assert base.key() != RunSpec(
+            "BV", 8, noise=(("cycle_loss", 0.01),)
+        ).key()
+
+    def test_noisy_record_survives_cache_roundtrip(self, tmp_path):
+        spec = RunSpec("BV", 8, shots=300)
+        first = BatchRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        second = BatchRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        assert second[0].cached
+        assert second[0].yield_mc == first[0].yield_mc
+        assert second[0].yield_analytic == first[0].yield_analytic
+
+    def test_yield_columns_in_run_table(self, tmp_path):
+        records = BatchRunner(jobs=1).run([RunSpec("BV", 8, shots=200)])
+        _, csv_path = write_run_table(records, tmp_path)
+        with csv_path.open() as handle:
+            row = next(iter(csv.DictReader(handle)))
+        for column in (
+            "noise",
+            "shots",
+            "yield_mc",
+            "yield_analytic",
+            "mc_attempts_per_fusion",
+            "mc_seconds",
+        ):
+            assert column in row
+        assert row["shots"] == "200"
+        assert 0.0 <= float(row["yield_mc"]) <= 1.0
+
+    def test_render_shows_yields(self):
+        records = BatchRunner(jobs=1).run([RunSpec("BV", 8, shots=200)])
+        text = render_run_records(records)
+        assert "yield_mc=" in text
+        assert "200 shots" in text
+
+
+class TestNoiseSweep:
+    def test_specs_cover_the_grid(self):
+        from repro.eval.experiments import noise_sweep_specs
+
+        specs = noise_sweep_specs(
+            benchmarks=[("BV", 8)],
+            fusion_success=(0.5, 0.75),
+            cycle_loss=(0.001,),
+            resource_states=("3-line", "4-star"),
+            shots=100,
+        )
+        assert len(specs) == 4
+        assert all(s.shots == 100 for s in specs)
+        assert {s.resource_state for s in specs} == {"3-line", "4-star"}
+
+    def test_run_noise_sweep_writes_artifacts(self, tmp_path):
+        from repro.eval.experiments import run_noise_sweep
+
+        records = run_noise_sweep(
+            benchmarks=[("BV", 8)],
+            fusion_success=(0.75,),
+            cycle_loss=(0.001, 0.01),
+            shots=200,
+            jobs=1,
+            out_dir=tmp_path,
+            label="test_sweep",
+        )
+        assert len(records) == 2
+        assert all(r.yield_mc is not None for r in records)
+        sweep_path = tmp_path / "BENCH_test_sweep.json"
+        assert sweep_path.exists()
+        payload = json.loads(sweep_path.read_text())
+        assert payload["schema_version"] == 3
+        assert len(payload["runs"]) == 2
+        for entry in payload["runs"].values():
+            assert 0.0 <= entry["yield_mc"] <= 1.0
+            assert entry["shots"] == 200
+
+    def test_committed_artifact_is_current_schema(self):
+        """benchmarks/BENCH_noise_sweep.json must track schema v3."""
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "BENCH_noise_sweep.json"
+        )
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 3
+        assert payload["runs"]
+        bv_rows = [
+            entry
+            for entry in payload["runs"].values()
+            if entry["benchmark"] == "BV"
+        ]
+        assert bv_rows and all(
+            entry["yield_mc"] is not None and entry["shots"] >= 2000
+            for entry in bv_rows
+        )
+
+
 class TestStageProfile:
     def test_stage_seconds_recorded(self):
         record = execute_spec(RunSpec("BV", 8))

@@ -18,6 +18,7 @@ from repro.hardware.noise import (
     fidelity_improvement_factor,
     log_fidelity,
     program_log_fidelity,
+    success_probability,
 )
 
 
@@ -32,6 +33,34 @@ class TestNoiseModel:
     def test_zero_success_rejected(self):
         with pytest.raises(ValueError):
             NoiseModel(fusion_success=0.0)
+
+    @pytest.mark.parametrize(
+        "field",
+        ["fusion_success", "fusion_error", "cycle_loss", "measurement_error"],
+    )
+    def test_each_field_validated(self, field):
+        """__post_init__ rejects out-of-range values for every field."""
+        with pytest.raises(ValueError):
+            NoiseModel(**{field: -0.01})
+        with pytest.raises(ValueError):
+            NoiseModel(**{field: 1.01})
+
+    @pytest.mark.parametrize(
+        "field", ["fusion_error", "cycle_loss", "measurement_error"]
+    )
+    def test_probability_bounds_accepted(self, field):
+        """p = 0 and p = 1 are both valid (if extreme) probabilities."""
+        assert getattr(NoiseModel(**{field: 0.0}), field) == 0.0
+        assert getattr(NoiseModel(**{field: 1.0}), field) == 1.0
+
+    def test_perfect_fusion_success_accepted(self):
+        assert NoiseModel(fusion_success=1.0).fusion_success == 1.0
+
+    def test_frozen(self):
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_NOISE.fusion_error = 0.5
 
 
 class TestLogFidelity:
@@ -57,6 +86,27 @@ class TestLogFidelity:
     )
     def test_always_nonpositive(self, f, m, c):
         assert log_fidelity(f, m, c) <= 0.0
+
+    def test_certain_error_gives_minus_infinity(self):
+        """A rate of exactly 1 with a positive count is certain failure
+        (math.log1p(-1) would raise, so this is an explicit branch)."""
+        model = NoiseModel(fusion_error=1.0)
+        assert log_fidelity(1, 0, 0, model) == float("-inf")
+        assert success_probability(1, 0, 0, model) == 0.0
+        # ... but with a zero count the certain channel never fires
+        assert log_fidelity(0, 5, 5, model) < 0.0
+
+    def test_zero_rates_give_certain_success(self):
+        model = NoiseModel(
+            fusion_error=0.0, cycle_loss=0.0, measurement_error=0.0
+        )
+        assert log_fidelity(100, 100, 100, model) == 0.0
+        assert success_probability(100, 100, 100, model) == 1.0
+
+    def test_success_probability_matches_exp(self):
+        assert success_probability(7, 11, 13) == pytest.approx(
+            math.exp(log_fidelity(7, 11, 13))
+        )
 
 
 class TestExpectedAttempts:

@@ -1,0 +1,216 @@
+"""Tests for the Monte-Carlo noisy-execution sampler.
+
+The agreement gate in :class:`TestAnalyticAgreement` is the CI-enforced
+cross-validation between the sampled and closed-form noise models: the
+Monte-Carlo fault-free shot rate must reproduce
+``repro.hardware.noise.success_probability`` within 3-sigma binomial
+error on Clifford benchmarks at >= 2000 shots.
+"""
+
+import pytest
+
+from repro.circuit import get_benchmark
+from repro.core import compile_circuit, estimate_yield
+from repro.hardware import HardwareConfig
+from repro.hardware.noise import DEFAULT_NOISE, NoiseModel
+from repro.mbqc.translate import circuit_to_pattern
+from repro.sim.noisy import FaultCounts, NoisySampler, sample_yield
+
+QUIET = NoiseModel(
+    fusion_success=1.0, fusion_error=0.0, cycle_loss=0.0, measurement_error=0.0
+)
+
+
+class TestFaultCounts:
+    def test_from_pattern(self):
+        pattern = circuit_to_pattern(get_benchmark("BV", 8))
+        counts = FaultCounts.from_pattern(pattern)
+        assert counts.fusions == pattern.num_edges
+        assert counts.measurements == pattern.num_nodes
+        assert counts.photon_cycles == pattern.num_nodes
+
+    def test_from_program_matches_program_log_fidelity(self):
+        from repro.hardware.noise import program_log_fidelity
+
+        program = compile_circuit(
+            get_benchmark("BV", 8), HardwareConfig.square(8)
+        )
+        counts = FaultCounts.from_program(program)
+        assert counts.fusions == program.num_fusions
+        assert counts.measurements == program.pattern_nodes
+        assert counts.photon_cycles == program.resource_states_used * 3
+        import math
+
+        assert counts.analytic_yield(DEFAULT_NOISE) == pytest.approx(
+            math.exp(program_log_fidelity(program, DEFAULT_NOISE))
+        )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            FaultCounts(fusions=-1, measurements=0, photon_cycles=0)
+
+
+class TestAnalyticAgreement:
+    """CI gate: sampled vs closed-form yields must cross-validate."""
+
+    def test_fault_free_rate_within_3_sigma(self):
+        """>= 2000 shots on a Clifford benchmark, default noise model."""
+        result = sample_yield(get_benchmark("BV", 16), shots=2500, seed=11)
+        assert result.shots == 2500
+        assert result.agrees_with_analytic(3.0), result.summary()
+        # executed logical yield can only improve on the fault-free rate
+        # (benign faults pass the stabilizer check, malignant ones fail)
+        assert result.yield_mc >= result.fault_free_yield
+
+    def test_loss_only_yield_agrees_exactly(self):
+        """With loss as the only channel every fault aborts, so the
+        executed Monte-Carlo yield IS the fault-free rate and must agree
+        with the analytic prediction directly."""
+        model = NoiseModel(
+            fusion_error=0.0, cycle_loss=0.02, measurement_error=0.0
+        )
+        result = sample_yield(
+            get_benchmark("BV", 16), shots=5000, model=model, seed=3
+        )
+        assert result.yield_mc == result.fault_free_yield
+        assert result.executed == 0  # heralded aborts never hit the tableau
+        assert result.agrees_with_analytic(3.0), result.summary()
+
+    def test_compiled_program_counts_agree(self):
+        """The bench plumbing path: fault counts from a compiled program."""
+        circuit = get_benchmark("BV", 8)
+        program = compile_circuit(circuit, HardwareConfig.square(8))
+        result = sample_yield(
+            circuit,
+            shots=2000,
+            counts=FaultCounts.from_program(program),
+            seed=17,
+        )
+        assert result.agrees_with_analytic(3.0), result.summary()
+
+    def test_expected_fusion_attempts(self):
+        """Repeat-until-success attempts average 1/fusion_success."""
+        result = sample_yield(get_benchmark("BV", 16), shots=2000, seed=5)
+        expected = 1.0 / DEFAULT_NOISE.fusion_success
+        assert result.attempts_per_fusion == pytest.approx(expected, rel=0.05)
+
+
+class TestDeterminism:
+    def test_seeded_runs_identical(self):
+        """Same circuit, model and seed -> bit-identical tallies."""
+        circuit = get_benchmark("BV", 12)
+        a = NoisySampler(circuit, seed=42).run(800)
+        b = NoisySampler(circuit, seed=42).run(800)
+        assert (
+            a.successes,
+            a.fault_free,
+            a.loss_aborts,
+            a.logical_failures,
+            a.executed,
+            a.fusion_attempts,
+        ) == (
+            b.successes,
+            b.fault_free,
+            b.loss_aborts,
+            b.logical_failures,
+            b.executed,
+            b.fusion_attempts,
+        )
+
+    def test_different_seeds_differ(self):
+        circuit = get_benchmark("BV", 12)
+        a = NoisySampler(circuit, seed=1).run(800)
+        b = NoisySampler(circuit, seed=2).run(800)
+        assert (a.successes, a.fusion_attempts) != (b.successes, b.fusion_attempts)
+
+
+class TestEdgeCases:
+    def test_zero_noise_always_succeeds(self):
+        result = sample_yield(
+            get_benchmark("BV", 8), shots=300, model=QUIET, seed=1
+        )
+        assert result.yield_mc == 1.0
+        assert result.fault_free == 300
+        assert result.executed == 0
+        assert result.fusion_attempts == 300 * result.counts.fusions
+        assert result.agrees_with_analytic()
+
+    def test_certain_loss_aborts_everything(self):
+        model = NoiseModel(cycle_loss=1.0)
+        result = sample_yield(
+            get_benchmark("BV", 8), shots=200, model=model, seed=1
+        )
+        assert result.yield_mc == 0.0
+        assert result.loss_aborts == 200
+        assert result.yield_analytic == 0.0
+        assert result.agrees_with_analytic()
+
+    def test_certain_measurement_error_fails_everything(self):
+        model = NoiseModel(
+            fusion_error=0.0, cycle_loss=0.0, measurement_error=1.0
+        )
+        result = sample_yield(
+            get_benchmark("BV", 8), shots=100, model=model, seed=1
+        )
+        # every readout slot flips too, so no shot can succeed
+        assert result.yield_mc == 0.0
+        assert result.fault_free == 0
+        assert result.yield_analytic == 0.0
+
+    def test_heavy_fusion_errors_corrupt_output(self):
+        """Injected Pauli faults must actually fail the stabilizer check
+        for a macroscopic fraction of shots."""
+        model = NoiseModel(
+            fusion_error=0.5, cycle_loss=0.0, measurement_error=0.0
+        )
+        result = sample_yield(
+            get_benchmark("BV", 8), shots=300, model=model, seed=9
+        )
+        assert result.logical_failures > 0
+        assert result.yield_mc < 1.0
+        assert result.yield_mc >= result.fault_free_yield
+
+    def test_non_clifford_circuit_rejected(self):
+        with pytest.raises(ValueError, match="Clifford"):
+            NoisySampler(get_benchmark("QFT", 4))
+
+    def test_nonpositive_shots_rejected(self):
+        sampler = NoisySampler(get_benchmark("BV", 8), seed=1)
+        with pytest.raises(ValueError):
+            sampler.run(0)
+
+
+class TestEstimateYield:
+    def test_clifford_runs_monte_carlo(self):
+        estimate = estimate_yield(get_benchmark("BV", 8), shots=400, seed=7)
+        assert estimate.method == "mc-stabilizer"
+        assert estimate.shots == 400
+        assert 0.0 <= estimate.yield_mc <= 1.0
+        assert estimate.fault_free_yield is not None
+        assert estimate.sigma > 0.0
+        assert estimate.seconds > 0.0
+
+    def test_non_clifford_falls_back_to_analytic(self):
+        estimate = estimate_yield(get_benchmark("QFT", 4), shots=400, seed=7)
+        assert estimate.method == "analytic-only"
+        assert estimate.shots == 0
+        assert estimate.yield_mc is None
+        assert estimate.fault_free_yield is None
+        assert 0.0 < estimate.yield_analytic < 1.0
+
+    def test_custom_model_and_counts(self):
+        model = NoiseModel(
+            fusion_error=0.0, cycle_loss=0.005, measurement_error=0.0
+        )
+        counts = FaultCounts(fusions=10, measurements=20, photon_cycles=100)
+        estimate = estimate_yield(
+            get_benchmark("BV", 8),
+            model=model,
+            shots=2000,
+            seed=7,
+            counts=counts,
+        )
+        assert estimate.yield_analytic == pytest.approx(0.995**100)
+        assert abs(estimate.fault_free_yield - estimate.yield_analytic) <= (
+            3.0 * estimate.sigma
+        )

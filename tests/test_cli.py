@@ -103,6 +103,28 @@ class TestCommands:
         assert (out_dir / "run_table.csv").exists()
         assert (out_dir / "BENCH_test.json").exists()
 
+    def test_noise_sweep(self, tmp_path, capsys):
+        out_dir = tmp_path / "sweep"
+        assert main(
+            [
+                "noise-sweep", "--benchmarks", "BV", "--qubits", "8",
+                "--shots", "200", "--fusion-success", "0.75",
+                "--cycle-loss", "0.001", "0.01", "--jobs", "1",
+                "--out", str(out_dir), "--label", "test",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "yield_mc=" in out
+        assert (out_dir / "BENCH_test.json").exists()
+        assert (out_dir / "noise_sweep.json").exists()
+        assert (out_dir / "noise_sweep.csv").exists()
+
+    def test_noise_sweep_rejects_bad_resource_state(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["noise-sweep", "--resource-state", "5-blob"]
+            )
+
     def test_bench_cache_reused(self, tmp_path, capsys):
         args = [
             "bench", "--quick", "--jobs", "1",
