@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Noisy-sampler overhaul benchmark: batched vs per-shot execution.
+
+Workload (the yield-curve access pattern): a Bernstein-Vazirani
+benchmark under a fusion-error-dominated noise model chosen so that
+essentially every shot carries at least one fault — the regime where the
+sampler actually pays for tableau execution (fault-free shots skip it
+entirely).  Both engines sample identical fault configurations at the
+fixed seed, so their ``NoisySampleResult`` tallies must be bit-identical
+(pass/fail per shot is a deterministic function of the fault
+configuration; random measurement outcomes are a gauge); the wall-clock
+ratio of the execution phase is the headline.
+
+Run:  PYTHONPATH=src python benchmarks/bench_noisy.py [--shots 2000]
+
+Writes ``benchmarks/BENCH_noisy_batch.json`` and exits non-zero when the
+tallies diverge or the batched speedup drops below the 10x gate.
+``--quick`` shrinks the workload for a CI smoke and skips the speedup
+gate (equivalence is still enforced).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.circuit import get_benchmark  # noqa: E402
+from repro.hardware.noise import NoiseModel  # noqa: E402
+from repro.sim.noisy import NoisySampler  # noqa: E402
+
+SPEEDUP_GATE = 10.0
+
+#: Fusion errors dominate and loss is off: nearly every shot is faulty
+#: and executes on the tableau, no shot is aborted before execution.
+BENCH_MODEL = NoiseModel(
+    fusion_success=0.75,
+    fusion_error=0.05,
+    cycle_loss=0.0,
+    measurement_error=0.002,
+)
+
+
+def _tally(result):
+    return {
+        "shots": result.shots,
+        "successes": result.successes,
+        "fault_free": result.fault_free,
+        "loss_aborts": result.loss_aborts,
+        "logical_failures": result.logical_failures,
+        "executed": result.executed,
+        "fusion_attempts": result.fusion_attempts,
+    }
+
+
+def run_engine(sampler: NoisySampler, shots: int, engine: str):
+    t0 = time.perf_counter()
+    result = sampler.run(shots, engine=engine)
+    return time.perf_counter() - t0, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="BV")
+    parser.add_argument("--qubits", type=int, default=16)
+    parser.add_argument("--shots", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small smoke workload; equivalence only, no speedup gate",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(pathlib.Path(__file__).parent / "BENCH_noisy_batch.json"),
+    )
+    args = parser.parse_args(argv)
+    shots = 300 if args.quick else args.shots
+    qubits = 8 if args.quick else args.qubits
+
+    circuit = get_benchmark(args.benchmark, qubits, seed=args.seed)
+
+    def fresh_sampler() -> NoisySampler:
+        # one sampler per engine: a shared base tableau is fine, but a
+        # fresh instance proves neither run leans on the other's state
+        return NoisySampler(circuit, model=BENCH_MODEL, seed=args.seed)
+
+    scalar_seconds, scalar = run_engine(fresh_sampler(), shots, "per-shot")
+    batched_seconds, batched = run_engine(fresh_sampler(), shots, "batched")
+
+    identical = _tally(scalar) == _tally(batched)
+    speedup = scalar_seconds / max(batched_seconds, 1e-12)
+    payload = {
+        "schema_version": 1,
+        "label": "noisy_batch",
+        "workload": {
+            "benchmark": f"{args.benchmark}-{qubits}",
+            "shots": shots,
+            "faulty_shots_executed": batched.executed,
+            "noise": {
+                "fusion_success": BENCH_MODEL.fusion_success,
+                "fusion_error": BENCH_MODEL.fusion_error,
+                "cycle_loss": BENCH_MODEL.cycle_loss,
+                "measurement_error": BENCH_MODEL.measurement_error,
+            },
+            "seed": args.seed,
+            "quick": args.quick,
+        },
+        "per_shot_engine": {
+            "seconds": round(scalar_seconds, 5),
+            "shots_per_second": round(scalar.shots_per_second, 1),
+        },
+        "batched_engine": {
+            "seconds": round(batched_seconds, 5),
+            "shots_per_second": round(batched.shots_per_second, 1),
+        },
+        "tally": _tally(batched),
+        "yield_mc": round(batched.yield_mc, 6),
+        "speedup": round(speedup, 1),
+        "tallies_identical": identical,
+        "speedup_gate": None if args.quick else SPEEDUP_GATE,
+    }
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=1) + "\n")
+
+    print(
+        f"{args.benchmark}-{qubits}, {shots} shots "
+        f"({batched.executed} faulty shots executed)\n"
+        f"  per-shot engine: {scalar_seconds:.4f}s "
+        f"({scalar.shots_per_second:.0f} shots/s)\n"
+        f"  batched engine:  {batched_seconds:.4f}s "
+        f"({batched.shots_per_second:.0f} shots/s)\n"
+        f"  speedup: {speedup:.1f}x; tallies identical: {identical}\n"
+        f"  wrote {out_path}"
+    )
+    if not identical:
+        print("error: engine tallies diverged", file=sys.stderr)
+        print(f"  per-shot: {_tally(scalar)}", file=sys.stderr)
+        print(f"  batched:  {_tally(batched)}", file=sys.stderr)
+        return 1
+    if not args.quick and speedup < SPEEDUP_GATE:
+        print(
+            f"error: batched speedup {speedup:.1f}x below the "
+            f"{SPEEDUP_GATE:.0f}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

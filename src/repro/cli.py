@@ -223,6 +223,7 @@ def cmd_noise_sweep(args) -> int:
         out_dir=out_dir,
         stem=args.stem,
         label=args.label,
+        mc_engine=args.mc_engine,
     )
     print(evaluation.render_run_records(records))
     print(f"run table: {out_dir / (args.stem + '.json')}")
@@ -344,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--label", default="noise_sweep", help="BENCH_<label>.json name"
     )
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--mc-engine", default="batched", choices=["batched", "per-shot"],
+        help="Monte-Carlo execution path: chunked batched tableau "
+        "(default) or the per-shot reference engine (bit-identical "
+        "tallies, ~10x+ slower)",
+    )
 
     return parser
 

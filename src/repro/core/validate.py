@@ -254,9 +254,15 @@ class YieldEstimate:
         sigma: binomial standard error of ``fault_free_yield``.
         attempts_per_fusion: mean sampled fusion attempts per required
             fusion under repeat-until-success (expected
-            ``1 / fusion_success``); the observable the
-            ``fusion_success`` axis of a noise sweep moves.
+            ``1 / fusion_success``), over the shots that completed their
+            fusion sequence; the observable the ``fusion_success`` axis
+            of a noise sweep moves.
         method: ``"mc-stabilizer"`` or ``"analytic-only"``.
+        mc_engine: sampler execution path (``"batched"`` chunked tableau
+            or the ``"per-shot"`` reference); ``None`` when no sampling
+            ran.
+        shots_per_second: sampling throughput; ``None`` when no sampling
+            ran.
         seconds: wall time spent sampling.
     """
 
@@ -267,6 +273,8 @@ class YieldEstimate:
     sigma: float
     method: str
     attempts_per_fusion: Optional[float] = None
+    mc_engine: Optional[str] = None
+    shots_per_second: Optional[float] = None
     seconds: float = 0.0
     detail: str = ""
 
@@ -278,6 +286,7 @@ def estimate_yield(
     shots: int = 2000,
     seed: Optional[int] = 7,
     counts=None,
+    engine: str = "batched",
 ) -> YieldEstimate:
     """Estimate the end-to-end success probability of a compiled program.
 
@@ -300,6 +309,9 @@ def estimate_yield(
             pattern-level accounting.  Pass
             ``FaultCounts.from_program(program)`` to use the compiled
             program's fusion tally and photon-cycle estimate.
+        engine: sampler execution path — ``"batched"`` (default; chunked
+            shared-symplectic tableau) or ``"per-shot"`` (the reference
+            path).  Tallies are bit-identical at a fixed seed.
     """
     from repro.hardware.noise import DEFAULT_NOISE
     from repro.mbqc.translate import circuit_to_pattern
@@ -328,7 +340,7 @@ def estimate_yield(
     sampler = NoisySampler(
         circuit, pattern=pattern, model=model, counts=counts, seed=seed
     )
-    result = sampler.run(shots)
+    result = sampler.run(shots, engine=engine)
     return YieldEstimate(
         shots=shots,
         yield_mc=result.yield_mc,
@@ -337,6 +349,8 @@ def estimate_yield(
         sigma=result.sigma,
         method="mc-stabilizer",
         attempts_per_fusion=result.attempts_per_fusion,
+        mc_engine=result.engine,
+        shots_per_second=result.shots_per_second,
         seconds=time.perf_counter() - t0,
         detail=result.summary(),
     )

@@ -28,7 +28,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Run-table columns, in on-disk CSV order.  Meanings:
 #:   key                 content hash of the spec (cache identity)
@@ -59,8 +59,13 @@ SCHEMA_VERSION = 3
 #:       compiled program's fault counts
 #:   mc_attempts_per_fusion   mean sampled fusion attempts per required
 #:       fusion (repeat-until-success; expected 1/fusion_success — the
-#:       observable the fusion_success axis moves)
+#:       observable the fusion_success axis moves), tallied over the
+#:       shots that completed their fusion sequence
 #:   mc_seconds   wall seconds of the Monte-Carlo stage
+#:   shots_per_second   Monte-Carlo sampling throughput (v4; None when
+#:       no sampling ran)
+#:   mc_engine   sampler execution path (v4): "batched" chunked tableau
+#:       or the "per-shot" reference; None when no sampling ran
 #:   cached    True when the row came from the on-disk cache
 RUN_TABLE_COLUMNS: List[str] = [
     "key",
@@ -106,6 +111,8 @@ RUN_TABLE_COLUMNS: List[str] = [
     "yield_analytic",
     "mc_attempts_per_fusion",
     "mc_seconds",
+    "shots_per_second",
+    "mc_engine",
     "cached",
 ]
 
@@ -136,6 +143,9 @@ class RunSpec:
     #: ``NoiseModel`` overrides as a sorted tuple of (name, value), e.g.
     #: ``(("cycle_loss", 0.01), ("fusion_success", 0.5))``
     noise: Tuple[Tuple[str, float], ...] = ()
+    #: Monte-Carlo sampler execution path: "batched" (default) or the
+    #: "per-shot" reference engine (bit-identical tallies, ~10x slower)
+    mc_engine: str = "batched"
     #: extra ``OneQConfig`` kwargs as a sorted tuple of (name, value)
     compiler_options: Tuple[Tuple[str, object], ...] = ()
 
@@ -205,6 +215,8 @@ class RunRecord:
     yield_analytic: Optional[float] = None
     mc_attempts_per_fusion: Optional[float] = None
     mc_seconds: float = 0.0
+    shots_per_second: Optional[float] = None
+    mc_engine: Optional[str] = None
     cached: bool = False
 
     @property
@@ -256,6 +268,7 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         verify_seconds = report.seconds
 
     yield_mc = yield_analytic = mc_attempts = None
+    shots_per_second = mc_engine = None
     mc_shots = 0
     mc_seconds = 0.0
     if spec.shots > 0:
@@ -270,6 +283,7 @@ def execute_spec(spec: RunSpec) -> RunRecord:
             shots=spec.shots,
             seed=spec.seed,
             counts=FaultCounts.from_program(program),
+            engine=spec.mc_engine,
         )
         # estimate.shots is 0 when no sampling engine applied
         # (non-Clifford program, analytic-only fallback)
@@ -278,6 +292,8 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         yield_analytic = estimate.yield_analytic
         mc_attempts = estimate.attempts_per_fusion
         mc_seconds = estimate.seconds
+        shots_per_second = estimate.shots_per_second
+        mc_engine = estimate.mc_engine
 
     baseline_depth = baseline_fusions = None
     depth_improvement = fusion_improvement = None
@@ -338,6 +354,8 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         yield_analytic=yield_analytic,
         mc_attempts_per_fusion=mc_attempts,
         mc_seconds=mc_seconds,
+        shots_per_second=shots_per_second,
+        mc_engine=mc_engine,
     )
 
 
@@ -644,6 +662,12 @@ def write_noise_sweep_json(
             "yield_analytic": record.yield_analytic,
             "mc_attempts_per_fusion": record.mc_attempts_per_fusion,
             "mc_seconds": round(record.mc_seconds, 4),
+            "shots_per_second": (
+                round(record.shots_per_second, 1)
+                if record.shots_per_second is not None
+                else None
+            ),
+            "mc_engine": record.mc_engine,
             "depth": record.depth,
             "fusions": record.num_fusions,
             "cached": record.cached,

@@ -35,12 +35,16 @@ class NoiseModel:
     measurement_error: float = 0.001
 
     def __post_init__(self) -> None:
+        """Every rate is a probability; the degenerate bounds are legal
+        and carry their limiting semantics: error/loss rates of exactly
+        1 give ``-inf`` log-fidelity, and ``fusion_success=0`` means
+        repeat-until-success never terminates
+        (:func:`expected_fusion_attempts` reports ``inf``; the
+        Monte-Carlo sampler rejects such runs with a clear message)."""
         for name in ("fusion_success", "fusion_error", "cycle_loss", "measurement_error"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {value}")
-        if self.fusion_success == 0.0:
-            raise ValueError("fusion_success must be positive")
 
 
 #: A forgiving default for comparisons (boosted fusion, good optics).
@@ -122,13 +126,21 @@ def expected_fusion_attempts(
 
     Linear-optics fusions herald failure; with repeat-until-success
     (and enough resource-state supply) the expected attempt count is
-    ``num_fusions / fusion_success``.
+    ``num_fusions / fusion_success`` — ``inf`` at the degenerate
+    ``fusion_success=0`` bound (no fusion ever succeeds), mirroring the
+    ``-inf`` log-fidelity bound of certain-failure rates.
 
     >>> expected_fusion_attempts(75)  # boosted fusions, p = 0.75
     100.0
+    >>> expected_fusion_attempts(1, NoiseModel(fusion_success=0.0))
+    inf
+    >>> expected_fusion_attempts(0, NoiseModel(fusion_success=0.0))
+    0.0
     """
     if num_fusions < 0:
         raise ValueError("num_fusions cannot be negative")
+    if model.fusion_success == 0.0:
+        return float("inf") if num_fusions else 0.0
     return num_fusions / model.fusion_success
 
 

@@ -41,6 +41,20 @@ execution deterministically passes the stabilizer check (verified once
 per sampler as a calibration shot), so only faulty shots pay for a full
 tableau run.  At realistic error rates this makes large shot counts
 cheap.
+
+Faulty shots themselves run **batched**: all supported fault channels
+perturb only tableau *signs* (Pauli faults are sign updates, measurement
+flips act on classical bits), so a whole chunk of faulty shots shares
+one symplectic tableau and executes the measurement sequence once on
+:class:`repro.sim.stabilizer_batch.BatchedStabilizerState` — per-shot
+cost collapses to vectorized sign algebra.  ``engine="per-shot"`` keeps
+the original one-tableau-per-shot path as the reference; the two produce
+bit-identical tallies at a fixed seed (pass/fail per shot is a
+deterministic function of the sampled fault configuration — random
+measurement outcomes are a gauge the feed-forward corrections cancel —
+and the fault configurations are drawn identically), which
+``tests/sim/test_noisy.py`` pins and
+``benchmarks/bench_noisy.py`` gates at >= 10x speedup.
 """
 
 from __future__ import annotations
@@ -61,6 +75,12 @@ from repro.sim.pattern_sim import (
     pattern_is_clifford,
 )
 from repro.sim.stabilizer import StabilizerState, circuit_is_clifford
+
+#: Default faulty shots per batched tableau chunk.  Peak chunk memory is
+#: about ``chunk * 2 * pattern_nodes`` sign bytes plus the per-node
+#: outcome vectors — a few MB at hundreds of nodes — while big enough to
+#: amortize the shared symplectic work across the whole chunk.
+DEFAULT_CHUNK_SHOTS = 512
 
 
 @dataclass(frozen=True)
@@ -120,9 +140,13 @@ class FaultCounts:
 class NoisySampleResult:
     """Tally of one :meth:`NoisySampler.run` call.
 
-    All counters are shot counts except ``fusion_attempts`` (total fusion
-    attempts across all shots, including repeat-until-success retries)
-    and ``seconds`` (wall time of the run).
+    All counters are shot counts except ``fusion_attempts`` (total
+    fusion attempts, including repeat-until-success retries, over the
+    shots that actually ran their fusion sequence — loss-aborted shots
+    stop before their fusions and contribute nothing) and ``seconds``
+    (wall time of the run).  ``engine`` records which execution path
+    produced the tally (``"batched"`` or ``"per-shot"``; both are
+    bit-identical at a fixed seed).
     """
 
     shots: int
@@ -135,6 +159,7 @@ class NoisySampleResult:
     counts: FaultCounts
     model: NoiseModel
     seconds: float = 0.0
+    engine: str = "batched"
 
     @property
     def yield_mc(self) -> float:
@@ -161,10 +186,25 @@ class NoisySampleResult:
         return math.sqrt(p * (1.0 - p) / self.shots)
 
     @property
+    def completed(self) -> int:
+        """Shots that ran their full fusion sequence — everything except
+        heralded loss aborts (which stop before their fusions)."""
+        return self.shots - self.loss_aborts
+
+    @property
+    def shots_per_second(self) -> float:
+        """Sampling throughput of the run (shots / wall seconds)."""
+        if self.seconds <= 0.0:
+            return float("inf")
+        return self.shots / self.seconds
+
+    @property
     def attempts_per_fusion(self) -> float:
-        """Mean sampled fusion attempts per required fusion (expected
-        ``1 / fusion_success`` under repeat-until-success)."""
-        total = self.shots * self.counts.fusions
+        """Mean sampled fusion attempts per required fusion over the
+        shots that completed their fusion sequence (expected
+        ``1 / fusion_success`` under repeat-until-success; vacuously 1.0
+        when no fusions completed)."""
+        total = self.completed * self.counts.fusions
         if total == 0:
             return 1.0
         return self.fusion_attempts / total
@@ -198,18 +238,25 @@ class NoisySampler:
             translation of *circuit*.  Must be Clifford (every
             measurement at a Pauli angle).
         model: per-event error probabilities (see
-            :class:`repro.hardware.noise.NoiseModel`).
+            :class:`repro.hardware.noise.NoiseModel`).  The degenerate
+            ``fusion_success=0`` bound is rejected here (with fusions to
+            perform, repeat-until-success never terminates: the yield is
+            exactly 0 and attempts diverge — nothing to sample).
         counts: fault-event counts per shot; defaults to
             :meth:`FaultCounts.from_pattern`.  Pass
             :meth:`FaultCounts.from_program` for compiled-program
             accounting.
-        seed: seeds both the fault sampling and every shot's tableau
-            RNG; two samplers with equal arguments and seed produce
-            identical results bit for bit.
+        seed: seeds the fault sampling and all tableau RNGs; two
+            samplers with equal arguments and seed produce identical
+            tallies bit for bit, on either engine.
 
     Fault configurations for all shots are sampled vectorized up front;
     only shots with at least one non-loss fault event execute on the
-    tableau (base graph state built once, copied per faulty shot).
+    tableau.  The default ``batched`` engine runs those faulty shots in
+    chunks on one shared-symplectic batched tableau
+    (:class:`repro.sim.stabilizer_batch.BatchedStabilizerState`);
+    ``per-shot`` copies the base graph state per shot (the original
+    reference path).
     """
 
     def __init__(
@@ -243,6 +290,14 @@ class NoisySampler:
         self.pattern = pattern
         self.model = model
         self.counts = counts or FaultCounts.from_pattern(pattern)
+        if model.fusion_success == 0.0 and self.counts.fusions > 0:
+            raise ValueError(
+                f"fusion_success=0 with {self.counts.fusions} fusions to "
+                "perform: repeat-until-success never terminates, the "
+                "yield is exactly 0 and fusion attempts diverge "
+                "(expected_fusion_attempts reports inf) — nothing to "
+                "sample"
+            )
         self.seed = seed
         self._outputs = frozenset(pattern.outputs)
         # node list in tableau-qubit order: graph_state sorts nodes, so
@@ -283,19 +338,77 @@ class NoisySampler:
         """Run one shot on a copy of the base tableau; True on success."""
         state = self._base.copy()
         state.rng = rng
-        for qubit, which in pauli_faults:
-            getattr(state, which)(qubit)
+        for qubit, kind in pauli_faults:
+            getattr(state, f"{kind}_gate")(qubit)
         simulator = StabilizerPatternSimulator(
             self.pattern, outcome_flips=outcome_flips
         )
         result = simulator.run(prepared=(state, self._index))
         return self._stabilizers_hold(result)
 
+    def _execute_chunk(
+        self,
+        chunk: List[Tuple[Optional[np.random.Generator], tuple, frozenset]],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Run a chunk of faulty shots on one batched tableau; returns
+        the per-shot boolean pass mask of the output stabilizer check."""
+        from repro.sim.pattern_sim import BatchedStabilizerPatternSimulator
+        from repro.sim.stabilizer_batch import BatchedStabilizerState
+
+        size = len(chunk)
+        state = BatchedStabilizerState.from_state(self._base, size)
+        state.rng = rng
+        flip_map: Dict[int, np.ndarray] = {}
+        for element, (_, pauli_faults, flips) in enumerate(chunk):
+            for qubit, kind in pauli_faults:
+                state.inject_pauli(element, qubit, kind)
+            for node in flips:
+                flip_map.setdefault(
+                    node, np.zeros(size, dtype=np.uint8)
+                )[element] = 1
+        simulator = BatchedStabilizerPatternSimulator(
+            self.pattern, outcome_flips=flip_map
+        )
+        result = simulator.run(prepared=(state, self._index))
+        ok = np.ones(size, dtype=bool)
+        for gx, gz, gr in self._circuit_rows:
+            pauli = result.output_pauli(self.pattern.outputs, gx, gz)
+            values = result.state.expectation(pauli)
+            if values is None:  # pragma: no cover - faults are sign-only
+                raise RuntimeError(
+                    "output stabilizer became random under sign-only faults"
+                )
+            ok &= values == gr
+        return ok
+
     # ------------------------------------------------------------------
-    def run(self, shots: int) -> NoisySampleResult:
-        """Sample and execute *shots* noisy shots; returns the tally."""
+    def run(
+        self,
+        shots: int,
+        engine: str = "batched",
+        chunk_size: int = DEFAULT_CHUNK_SHOTS,
+    ) -> NoisySampleResult:
+        """Sample and execute *shots* noisy shots; returns the tally.
+
+        Args:
+            shots: number of Monte-Carlo shots (> 0).
+            engine: ``"batched"`` (default) executes faulty shots in
+                chunks on the shared-symplectic batched tableau;
+                ``"per-shot"`` is the original reference path.  Tallies
+                are bit-identical between the two at a fixed seed.
+            chunk_size: faulty shots per batched tableau; bounds peak
+                memory at roughly ``chunk_size * 2 * pattern_nodes``
+                sign bytes (ignored by ``per-shot``).
+        """
         if shots <= 0:
             raise ValueError("shots must be positive")
+        if engine not in ("batched", "per-shot"):
+            raise ValueError(
+                f"unknown engine {engine!r}; use 'batched' or 'per-shot'"
+            )
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
         t0 = time.perf_counter()
         counts, model = self.counts, self.model
         root = np.random.SeedSequence(self.seed)
@@ -319,9 +432,8 @@ class NoisySampler:
 
         n_qubits = self._base.n
         n_nodes = len(self._nodes)
-        successes = fault_free = loss_aborts = 0
-        logical_failures = executed = 0
-        pauli_gates = ("x_gate", "y_gate", "z_gate")
+        fault_free = loss_aborts = logical_failures = 0
+        pending: List[Tuple[Optional[np.random.Generator], tuple, frozenset]] = []
         for i in range(shots):
             if losses[i] > 0:
                 loss_aborts += 1
@@ -329,11 +441,10 @@ class NoisySampler:
             n_fus, n_meas = int(fusion_errors[i]), int(meas_errors[i])
             if n_fus == 0 and n_meas == 0:
                 fault_free += 1
-                successes += 1
                 continue
             shot_rng = np.random.default_rng(shot_seeds[i])
             pauli_faults = tuple(
-                (int(q), pauli_gates[int(p)])
+                (int(q), "xyz"[int(p)])
                 for q, p in zip(
                     shot_rng.integers(0, n_qubits, size=n_fus),
                     shot_rng.integers(0, 3, size=n_fus),
@@ -356,12 +467,35 @@ class NoisySampler:
                 # the quantum state; no tableau run needed
                 logical_failures += 1
                 continue
-            executed += 1
-            if self._execute_shot(shot_rng, pauli_faults, frozenset(flips)):
-                successes += 1
-            else:
-                logical_failures += 1
+            # only the per-shot engine consumes the generator later; the
+            # batched engine draws from the master rng, so holding every
+            # pending generator would waste memory at large shot counts
+            pending.append((
+                shot_rng if engine == "per-shot" else None,
+                pauli_faults,
+                frozenset(flips),
+            ))
 
+        executed = len(pending)
+        successes = fault_free
+        if engine == "per-shot":
+            for shot_rng, pauli_faults, flips in pending:
+                if self._execute_shot(shot_rng, pauli_faults, flips):
+                    successes += 1
+                else:
+                    logical_failures += 1
+        else:
+            for start in range(0, executed, chunk_size):
+                ok = self._execute_chunk(
+                    pending[start : start + chunk_size], rng
+                )
+                passed = int(ok.sum())
+                successes += passed
+                logical_failures += len(ok) - passed
+
+        # loss-aborted shots stop before their fusion sequence, so their
+        # pre-sampled attempt counts never happened and are not tallied
+        fusion_attempts = int(attempts[losses == 0].sum())
         return NoisySampleResult(
             shots=shots,
             successes=successes,
@@ -369,10 +503,11 @@ class NoisySampler:
             loss_aborts=loss_aborts,
             logical_failures=logical_failures,
             executed=executed,
-            fusion_attempts=int(attempts.sum()),
+            fusion_attempts=fusion_attempts,
             counts=counts,
             model=model,
             seconds=time.perf_counter() - t0,
+            engine=engine,
         )
 
 
@@ -383,9 +518,11 @@ def sample_yield(
     model: NoiseModel = DEFAULT_NOISE,
     counts: Optional[FaultCounts] = None,
     seed: Optional[int] = 7,
+    engine: str = "batched",
+    chunk_size: int = DEFAULT_CHUNK_SHOTS,
 ) -> NoisySampleResult:
     """One-call convenience wrapper around :class:`NoisySampler`."""
     sampler = NoisySampler(
         circuit, pattern=pattern, model=model, counts=counts, seed=seed
     )
-    return sampler.run(shots)
+    return sampler.run(shots, engine=engine, chunk_size=chunk_size)

@@ -381,41 +381,32 @@ class StabilizerState:
         angles (multiples of pi/2, which only differ from I/S/Z/Sdg by a
         global phase); raises ``ValueError`` for anything non-Clifford.
         """
-        name = gate.name
-        qubits = gate.qubits
-        if name in _SINGLE_QUBIT_GATES:
-            for method in _SINGLE_QUBIT_GATES[name]:
-                getattr(self, method)(qubits[0])
-        elif name == "cx":
-            self.cnot(qubits[0], qubits[1])
-        elif name == "cz":
-            self.cz(qubits[0], qubits[1])
-        elif name == "swap":
-            self.swap(qubits[0], qubits[1])
-        elif name in ("rz", "p"):
-            alpha = gate.params[0]
-            if not is_clifford_angle(alpha):
-                raise ValueError(
-                    f"gate {name}({alpha}) is not Clifford; "
-                    "use the statevector simulator"
-                )
-            quarter = int(round(normalize_angle(alpha) / (np.pi / 2.0))) % 4
-            for method in ((), ("s",), ("z_gate",), ("sdg",))[quarter]:
-                getattr(self, method)(qubits[0])
-        else:
-            raise ValueError(
-                f"gate {name!r} is not Clifford; use the statevector simulator"
-            )
+        _dispatch_gate(self, gate)
 
     def apply_circuit(self, circuit) -> "StabilizerState":
         """Apply every gate of a (Clifford) circuit; returns ``self``."""
         for gate in circuit:
-            self.apply_gate(gate)
+            _dispatch_gate(self, gate)
         return self
 
     # ------------------------------------------------------------------
     # measurements
     # ------------------------------------------------------------------
+    def _require_destabilizers(self, operation: str) -> None:
+        """Refuse outcome computation on a stale symplectic pair.
+
+        :meth:`discard` rebuilds only the stabilizer half of the tableau
+        and zeroes the destabilizers; a measurement would then rowsum
+        over those zeroed rows and return a silently wrong (always
+        identity-product) outcome instead of failing loudly.
+        """
+        if not self._destabilizers_valid:
+            raise RuntimeError(
+                f"{operation} on a state with stale destabilizers (the "
+                "state came from discard()); re-derive it from a full "
+                "tableau instead"
+            )
+
     def measure_z(self, q: int, force: Optional[int] = None) -> int:
         """Z measurement of qubit *q*; returns ``m`` for outcome ``(-1)^m``."""
         pauli = PauliString.from_ops(self.n, {q: "z"})
@@ -426,8 +417,12 @@ class StabilizerState:
 
         ``force`` postselects an outcome for the random case (raises if
         the forced outcome has zero probability in the deterministic
-        case).
+        case).  Raises on a state whose destabilizers were invalidated
+        by :meth:`discard`: both the random-case rowsum and the
+        deterministic accumulation walk destabilizer rows, and zeroed
+        rows would yield silently wrong outcomes.
         """
+        self._require_destabilizers("measure_pauli")
         n = self.n
         px = _pack_bits(pauli.x, self.num_words)
         pz = _pack_bits(pauli.z, self.num_words)
@@ -481,6 +476,7 @@ class StabilizerState:
         Read-only: a deterministic CHP measurement never updates the
         tableau, and the random case returns before touching it.
         """
+        self._require_destabilizers("expectation")
         px = _pack_bits(pauli.x, self.num_words)
         pz = _pack_bits(pauli.z, self.num_words)
         anti = self._anticommuting_rows(px, pz)
@@ -576,6 +572,38 @@ _SINGLE_QUBIT_GATES: Dict[str, Tuple[str, ...]] = {
     "sdg": ("sdg",),
     "sx": ("h", "s", "h"),  # HSH = sqrt(X) exactly
 }
+
+
+def _dispatch_gate(state, gate) -> None:
+    """Circuit-gate -> tableau-method dispatch, shared by the scalar and
+    batched engines (both expose the same gate-method names), so the
+    gate vocabulary and the rz/p quarter-turn lowering live exactly
+    once."""
+    name = gate.name
+    qubits = gate.qubits
+    if name in _SINGLE_QUBIT_GATES:
+        for method in _SINGLE_QUBIT_GATES[name]:
+            getattr(state, method)(qubits[0])
+    elif name == "cx":
+        state.cnot(qubits[0], qubits[1])
+    elif name == "cz":
+        state.cz(qubits[0], qubits[1])
+    elif name == "swap":
+        state.swap(qubits[0], qubits[1])
+    elif name in ("rz", "p"):
+        alpha = gate.params[0]
+        if not is_clifford_angle(alpha):
+            raise ValueError(
+                f"gate {name}({alpha}) is not Clifford; "
+                "use the statevector simulator"
+            )
+        quarter = int(round(normalize_angle(alpha) / (np.pi / 2.0))) % 4
+        for method in ((), ("s",), ("z_gate",), ("sdg",))[quarter]:
+            getattr(state, method)(qubits[0])
+    else:
+        raise ValueError(
+            f"gate {name!r} is not Clifford; use the statevector simulator"
+        )
 
 
 def circuit_is_clifford(circuit) -> bool:

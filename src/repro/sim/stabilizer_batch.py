@@ -1,0 +1,390 @@
+"""Batch axis for the bit-packed CHP tableau engine.
+
+:class:`BatchedStabilizerState` executes *batch* stabilizer states at
+once — the workload of the Monte-Carlo noisy sampler, where thousands of
+shots run the same Clifford measurement pattern and differ only in their
+injected Pauli faults and feed-forward signs.
+
+The representation exploits a structural fact of that workload instead
+of naively tiling the scalar tableau ``batch`` times: every batched
+operation this engine supports — uniform Clifford gates, per-batch Pauli
+(sign) injection, Pauli measurements with per-batch basis signs — updates
+the symplectic part of the tableau (the ``x``/``z`` bit matrices)
+*identically* across the batch:
+
+* Pauli gates and injected Pauli faults only flip sign bits ``r``;
+* a measurement's pivot choice and row updates depend only on
+  (anti)commutation, i.e. on ``x``/``z``, never on signs or outcomes —
+  the random outcome lands exclusively in the new stabilizer's sign bit.
+
+So the ``(2n, words)`` ``x``/``z`` arrays are stored **once** and shared
+by the whole batch, while the sign column ``r`` carries the batch axis
+as a ``(batch, 2n)`` bit array.  One batched Pauli measurement costs one
+scalar-tableau row update plus a vectorized ``(batch, rows)`` sign
+update and a single vectorized outcome draw — per-shot cost is O(rows)
+bytes of sign algebra instead of a full tableau copy and rowsum.
+
+Scalar-engine equivalence is pinned by
+``tests/sim/test_stabilizer_batch.py`` (per-element extraction via
+:meth:`BatchedStabilizerState.extract` against :class:`StabilizerState`
+on random Clifford circuits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.sim.stabilizer import (
+    _ONE,
+    PauliString,
+    StabilizerState,
+    _bit_positions,
+    _bitwise_count,
+    _dispatch_gate,
+    _num_words,
+    _pack_bits,
+    _phase_sum_packed,
+)
+
+#: injected-Pauli kind -> which tableau columns flip a row's sign:
+#: X flips rows with a Z there, Z flips rows with an X, Y flips both.
+_PAULI_KINDS = ("x", "y", "z")
+
+
+class BatchedStabilizerState:
+    """``batch`` stabilizer states sharing one symplectic tableau.
+
+    All states start identical (``|0...0>`` per qubit, or a prepared
+    scalar tableau via :meth:`from_state`) and may only diverge in their
+    sign bits — which is exactly what uniform Clifford evolution with
+    per-batch Pauli frames and random measurement outcomes produces (see
+    the module docstring for why ``x``/``z`` stay shared).
+
+    Attributes:
+        n: qubits per state.
+        batch: number of states.
+        x, z: shared ``(2n, words)`` uint64 bit matrices (rows ``0..n-1``
+            destabilizers, ``n..2n-1`` stabilizers).
+        r: per-state sign bits, ``(batch, 2n)`` uint8.
+        rng: one generator; measurement outcomes for the whole batch come
+            from single vectorized draws.
+    """
+
+    def __init__(
+        self, num_qubits: int, batch: int, seed: Optional[int] = None
+    ):
+        if num_qubits <= 0:
+            raise ValueError("num_qubits must be positive")
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        n = num_qubits
+        self.n = n
+        self.batch = batch
+        self.num_words = _num_words(n)
+        self.x = np.zeros((2 * n, self.num_words), dtype=np.uint64)
+        self.z = np.zeros((2 * n, self.num_words), dtype=np.uint64)
+        self.r = np.zeros((batch, 2 * n), dtype=np.uint8)
+        rows = np.arange(n, dtype=np.int64)
+        words, masks = _bit_positions(rows)
+        self.x[rows, words] = masks          # destabilizer X_i
+        self.z[n + rows, words] = masks      # stabilizer Z_i
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_state(
+        cls,
+        state: StabilizerState,
+        batch: int,
+        seed: Optional[int] = None,
+    ) -> "BatchedStabilizerState":
+        """Fan a scalar tableau out into *batch* identical states.
+
+        The scalar tableau is copied, never aliased.  States whose
+        destabilizers were invalidated (:meth:`StabilizerState.discard`)
+        are rejected: batched measurement needs the full symplectic pair.
+        """
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        if not state._destabilizers_valid:
+            raise ValueError(
+                "cannot batch a state with stale destabilizers "
+                "(produced by discard()); measurements there are invalid"
+            )
+        out = object.__new__(cls)
+        out.n = state.n
+        out.batch = batch
+        out.num_words = state.num_words
+        out.x = state.x.copy()
+        out.z = state.z.copy()
+        out.r = np.broadcast_to(state.r, (batch, 2 * state.n)).copy()
+        out.rng = np.random.default_rng(seed)
+        return out
+
+    @classmethod
+    def graph_state(
+        cls,
+        graph: nx.Graph,
+        batch: int,
+        seed: Optional[int] = None,
+        zero_nodes: Iterable = (),
+    ) -> Tuple["BatchedStabilizerState", Dict]:
+        """Batched :meth:`StabilizerState.graph_state`; returns
+        ``(state, node -> qubit)``."""
+        base, index = StabilizerState.graph_state(
+            graph, zero_nodes=zero_nodes
+        )
+        return cls.from_state(base, batch, seed=seed), index
+
+    def extract(self, element: int) -> StabilizerState:
+        """Copy one batch element out as a scalar :class:`StabilizerState`
+        (fresh RNG; for comparisons and tests)."""
+        out = object.__new__(StabilizerState)
+        out.n = self.n
+        out.num_words = self.num_words
+        out.x = self.x.copy()
+        out.z = self.z.copy()
+        out.r = self.r[element].copy()
+        out.rng = np.random.default_rng()
+        return out
+
+    # ------------------------------------------------------------------
+    # internal row algebra
+    # ------------------------------------------------------------------
+    def _column(self, mat: np.ndarray, q: int) -> np.ndarray:
+        """Bit of qubit *q* in every shared row (0/1 uint8, shape (2n,))."""
+        return ((mat[:, q >> 6] >> np.uint64(q & 63)) & _ONE).astype(np.uint8)
+
+    def _flip_signs(self, flips: np.ndarray, mask: Optional[np.ndarray]) -> None:
+        """XOR the per-row flip vector into every (or the masked) batch
+        element's sign bits."""
+        if mask is None:
+            self.r ^= flips[None, :]
+        else:
+            self.r[np.asarray(mask, dtype=bool)] ^= flips[None, :]
+
+    def _rowsum_rows(self, rows: np.ndarray, pivot: int) -> None:
+        """Batched ``row := row * pivot`` with AG phase tracking.
+
+        The symplectic update is shared; the phase update runs over the
+        ``(batch, rows)`` sign plane.  The i/-i parity of each product is
+        batch-independent (it only reads ``x``/``z``), so the Hermitian
+        check for stabilizer rows is done once.
+        """
+        hx, hz = self.x[rows], self.z[rows]
+        ix, iz = self.x[pivot], self.z[pivot]
+        g = _phase_sum_packed(ix, iz, hx, hz)  # (rows,) shared phase part
+        if np.any(g[rows >= self.n] & 1):
+            raise RuntimeError("non-Hermitian product in stabilizer rowsum")
+        phase = 2 * (
+            self.r[:, rows].astype(np.int64)
+            + self.r[:, pivot].astype(np.int64)[:, None]
+        )
+        phase += g[None, :]
+        self.x[rows] = hx ^ ix
+        self.z[rows] = hz ^ iz
+        self.r[:, rows] = ((np.mod(phase, 4) >> 1) & 1).astype(np.uint8)
+
+    def _anticommuting_rows(self, px: np.ndarray, pz: np.ndarray) -> np.ndarray:
+        """Boolean mask over the 2n shared rows: odd symplectic product."""
+        counts = _bitwise_count(self.x & pz).sum(axis=-1, dtype=np.int64)
+        counts += _bitwise_count(self.z & px).sum(axis=-1, dtype=np.int64)
+        return (counts & 1).astype(bool)
+
+    def _accumulate_stabilizers(
+        self, anti_destab: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Product of stabilizer rows whose destabilizer partners are in
+        *anti_destab*; the accumulated sign is per batch element."""
+        accx = np.zeros(self.num_words, dtype=np.uint64)
+        accz = np.zeros(self.num_words, dtype=np.uint64)
+        accr = np.zeros(self.batch, dtype=np.int64)
+        for i in np.flatnonzero(anti_destab):
+            row = self.n + int(i)
+            g = int(_phase_sum_packed(self.x[row], self.z[row], accx, accz))
+            if g & 1:
+                raise RuntimeError(
+                    "non-Hermitian product in stabilizer rowsum"
+                )
+            phase = 2 * (accr + self.r[:, row].astype(np.int64)) + g
+            accx = accx ^ self.x[row]
+            accz = accz ^ self.z[row]
+            accr = (np.mod(phase, 4) >> 1) & 1
+        return accx, accz, accr.astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Clifford gates (uniform across the batch)
+    # ------------------------------------------------------------------
+    def h(self, q: int) -> None:
+        """Hadamard on qubit *q* of every batch element."""
+        w, mask = (q >> 6), _ONE << np.uint64(q & 63)
+        xw, zw = self.x[:, w], self.z[:, w]
+        self._flip_signs((((xw & zw) & mask) != 0).astype(np.uint8), None)
+        diff = (xw ^ zw) & mask
+        self.x[:, w] ^= diff
+        self.z[:, w] ^= diff
+
+    def s(self, q: int) -> None:
+        """Phase gate S on qubit *q* of every batch element."""
+        w, mask = (q >> 6), _ONE << np.uint64(q & 63)
+        xw, zw = self.x[:, w], self.z[:, w]
+        self._flip_signs((((xw & zw) & mask) != 0).astype(np.uint8), None)
+        self.z[:, w] ^= xw & mask
+
+    def sdg(self, q: int) -> None:
+        """Inverse phase gate on qubit *q* of every batch element."""
+        w, mask = (q >> 6), _ONE << np.uint64(q & 63)
+        xw, zw = self.x[:, w], self.z[:, w]
+        self._flip_signs((((xw & ~zw) & mask) != 0).astype(np.uint8), None)
+        self.z[:, w] ^= xw & mask
+
+    def x_gate(self, q: int, mask: Optional[np.ndarray] = None) -> None:
+        """Pauli X on qubit *q*; *mask* (batch bools) restricts which
+        elements it applies to (per-shot byproduct corrections)."""
+        self._flip_signs(self._column(self.z, q), mask)
+
+    def y_gate(self, q: int, mask: Optional[np.ndarray] = None) -> None:
+        """Pauli Y on qubit *q*, optionally masked per batch element."""
+        self._flip_signs(self._column(self.x, q) ^ self._column(self.z, q), mask)
+
+    def z_gate(self, q: int, mask: Optional[np.ndarray] = None) -> None:
+        """Pauli Z on qubit *q*, optionally masked per batch element."""
+        self._flip_signs(self._column(self.x, q), mask)
+
+    def cnot(self, control: int, target: int) -> None:
+        """CNOT on every batch element."""
+        if control == target:
+            raise ValueError("cnot needs distinct qubits")
+        xc = (self.x[:, control >> 6] >> np.uint64(control & 63)) & _ONE
+        zc = (self.z[:, control >> 6] >> np.uint64(control & 63)) & _ONE
+        xt = (self.x[:, target >> 6] >> np.uint64(target & 63)) & _ONE
+        zt = (self.z[:, target >> 6] >> np.uint64(target & 63)) & _ONE
+        self._flip_signs((xc & zt & (xt ^ zc ^ _ONE)).astype(np.uint8), None)
+        self.x[:, target >> 6] ^= xc << np.uint64(target & 63)
+        self.z[:, control >> 6] ^= zt << np.uint64(control & 63)
+
+    def cz(self, a: int, b: int) -> None:
+        """CZ on every batch element (direct column update)."""
+        if a == b:
+            raise ValueError("cz needs distinct qubits")
+        xa = (self.x[:, a >> 6] >> np.uint64(a & 63)) & _ONE
+        za = (self.z[:, a >> 6] >> np.uint64(a & 63)) & _ONE
+        xb = (self.x[:, b >> 6] >> np.uint64(b & 63)) & _ONE
+        zb = (self.z[:, b >> 6] >> np.uint64(b & 63)) & _ONE
+        self._flip_signs((xa & xb & (za ^ zb)).astype(np.uint8), None)
+        self.z[:, a >> 6] ^= xb << np.uint64(a & 63)
+        self.z[:, b >> 6] ^= xa << np.uint64(b & 63)
+
+    def swap(self, a: int, b: int) -> None:
+        """Exchange qubits *a* and *b* on every batch element."""
+        if a == b:
+            return
+        for mat in (self.x, self.z):
+            bit_a = (mat[:, a >> 6] >> np.uint64(a & 63)) & _ONE
+            bit_b = (mat[:, b >> 6] >> np.uint64(b & 63)) & _ONE
+            diff = bit_a ^ bit_b
+            mat[:, a >> 6] ^= diff << np.uint64(a & 63)
+            mat[:, b >> 6] ^= diff << np.uint64(b & 63)
+
+    def apply_gate(self, gate) -> None:
+        """Apply one circuit gate uniformly (same contract as
+        :meth:`StabilizerState.apply_gate`)."""
+        _dispatch_gate(self, gate)
+
+    def apply_circuit(self, circuit) -> "BatchedStabilizerState":
+        """Apply every gate of a (Clifford) circuit; returns ``self``."""
+        for gate in circuit:
+            _dispatch_gate(self, gate)
+        return self
+
+    # ------------------------------------------------------------------
+    # per-batch Pauli (sign) injection
+    # ------------------------------------------------------------------
+    def inject_pauli(self, element: int, qubit: int, kind: str) -> None:
+        """Apply Pauli *kind* (``'x'``/``'y'``/``'z'``) on *qubit* of one
+        batch element — a pure sign update on that element's ``r`` row."""
+        if kind not in _PAULI_KINDS:
+            raise ValueError(f"unknown Pauli {kind!r}")
+        if kind == "x":
+            flips = self._column(self.z, qubit)
+        elif kind == "z":
+            flips = self._column(self.x, qubit)
+        else:
+            flips = self._column(self.x, qubit) ^ self._column(self.z, qubit)
+        self.r[element] ^= flips
+
+    # ------------------------------------------------------------------
+    # measurements
+    # ------------------------------------------------------------------
+    def measure_z(
+        self, q: int, signs: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Batched Z measurement of qubit *q*; returns ``(batch,)`` bits."""
+        return self.measure_pauli(PauliString.from_ops(self.n, {q: "z"}), signs)
+
+    def measure_pauli(
+        self, pauli: PauliString, signs: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Measure one Pauli product on every batch element.
+
+        The Pauli *operator* is shared across the batch; *signs* (uint8
+        ``(batch,)``, XORed with ``pauli.sign``) lets each element
+        measure the operator with its own sign — how feed-forward-adapted
+        Pauli bases differ per shot.  Random outcomes for the whole batch
+        come from **one** vectorized ``rng.integers`` draw; returns the
+        ``(batch,)`` outcome bits ``m`` for eigenvalues ``(-1)^m``.
+        """
+        n = self.n
+        total_sign = np.full(self.batch, pauli.sign & 1, dtype=np.uint8)
+        if signs is not None:
+            total_sign ^= np.asarray(signs, dtype=np.uint8)
+        px = _pack_bits(pauli.x, self.num_words)
+        pz = _pack_bits(pauli.z, self.num_words)
+        anti = self._anticommuting_rows(px, pz)
+        anti_stab = np.flatnonzero(anti[n:])
+        if anti_stab.size:
+            p = n + int(anti_stab[0])
+            outcomes = self.rng.integers(
+                0, 2, size=self.batch, dtype=np.uint8
+            )
+            rows = np.flatnonzero(anti)
+            rows = rows[rows != p]
+            if rows.size:
+                self._rowsum_rows(rows, p)
+            # old stabilizer becomes the destabilizer of the new one
+            self.x[p - n] = self.x[p]
+            self.z[p - n] = self.z[p]
+            self.r[:, p - n] = self.r[:, p]
+            self.x[p] = px
+            self.z[p] = pz
+            self.r[:, p] = total_sign ^ outcomes
+            return outcomes
+        accx, accz, accr = self._accumulate_stabilizers(anti[:n])
+        if not (np.array_equal(accx, px) and np.array_equal(accz, pz)):
+            raise RuntimeError(
+                "deterministic measurement does not reproduce the Pauli; "
+                "tableau is corrupt"
+            )
+        return accr ^ total_sign
+
+    def expectation(self, pauli: PauliString) -> Optional[np.ndarray]:
+        """Per-element outcome of measuring *pauli* if deterministic
+        (``(batch,)`` bits), else ``None``.  Read-only."""
+        px = _pack_bits(pauli.x, self.num_words)
+        pz = _pack_bits(pauli.z, self.num_words)
+        anti = self._anticommuting_rows(px, pz)
+        if anti[self.n:].any():
+            return None
+        accx, accz, accr = self._accumulate_stabilizers(anti[: self.n])
+        if not (np.array_equal(accx, px) and np.array_equal(accz, pz)):
+            raise RuntimeError(
+                "deterministic measurement does not reproduce the Pauli; "
+                "tableau is corrupt"
+            )
+        sign = np.full(self.batch, pauli.sign & 1, dtype=np.uint8)
+        return accr ^ sign

@@ -183,7 +183,7 @@ class TestVerifyStage:
 
 
 class TestNoisyStage:
-    """Schema v3: Monte-Carlo yield columns in the run table."""
+    """Schema v3/v4: Monte-Carlo yield columns in the run table."""
 
     def test_mc_stage_off_by_default(self):
         record = execute_spec(RunSpec("BV", 8))
@@ -202,6 +202,24 @@ class TestNoisyStage:
         assert record.mc_seconds > 0.0
         # boosted fusions retry ~1/0.75 times on average
         assert record.mc_attempts_per_fusion == pytest.approx(4 / 3, rel=0.1)
+        # schema v4: sampler throughput and execution path
+        assert record.mc_engine == "batched"
+        assert record.shots_per_second > 0.0
+
+    def test_per_shot_engine_reproduces_batched_yields(self):
+        """RunSpec.mc_engine reaches the sampler; both paths agree
+        bit for bit and the choice is part of the cache identity."""
+        batched = execute_spec(RunSpec("BV", 8, shots=300))
+        scalar = execute_spec(
+            RunSpec("BV", 8, shots=300, mc_engine="per-shot")
+        )
+        assert scalar.mc_engine == "per-shot"
+        assert scalar.yield_mc == batched.yield_mc
+        assert scalar.mc_attempts_per_fusion == batched.mc_attempts_per_fusion
+        assert (
+            RunSpec("BV", 8, shots=300).key()
+            != RunSpec("BV", 8, shots=300, mc_engine="per-shot").key()
+        )
 
     def test_non_clifford_benchmark_analytic_only(self):
         record = execute_spec(RunSpec("QFT", 8, shots=200))
@@ -210,6 +228,8 @@ class TestNoisyStage:
         # no sampling ran, so the recorded shot count must be 0
         assert record.shots == 0
         assert record.mc_attempts_per_fusion is None
+        assert record.mc_engine is None
+        assert record.shots_per_second is None
 
     def test_fusion_success_moves_sampled_attempts(self):
         """The fusion_success sweep axis must be observable in the
@@ -263,10 +283,14 @@ class TestNoisyStage:
             "yield_analytic",
             "mc_attempts_per_fusion",
             "mc_seconds",
+            "shots_per_second",
+            "mc_engine",
         ):
             assert column in row
         assert row["shots"] == "200"
         assert 0.0 <= float(row["yield_mc"]) <= 1.0
+        assert row["mc_engine"] == "batched"
+        assert float(row["shots_per_second"]) > 0.0
 
     def test_render_shows_yields(self):
         records = BatchRunner(jobs=1).run([RunSpec("BV", 8, shots=200)])
@@ -307,14 +331,16 @@ class TestNoiseSweep:
         sweep_path = tmp_path / "BENCH_test_sweep.json"
         assert sweep_path.exists()
         payload = json.loads(sweep_path.read_text())
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         assert len(payload["runs"]) == 2
         for entry in payload["runs"].values():
             assert 0.0 <= entry["yield_mc"] <= 1.0
             assert entry["shots"] == 200
+            assert entry["mc_engine"] == "batched"
+            assert entry["shots_per_second"] > 0.0
 
     def test_committed_artifact_is_current_schema(self):
-        """benchmarks/BENCH_noise_sweep.json must track schema v3."""
+        """benchmarks/BENCH_noise_sweep.json must track schema v4."""
         import pathlib
 
         path = (
@@ -323,7 +349,7 @@ class TestNoiseSweep:
             / "BENCH_noise_sweep.json"
         )
         payload = json.loads(path.read_text())
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         assert payload["runs"]
         bv_rows = [
             entry

@@ -30,9 +30,16 @@ class TestNoiseModel:
         with pytest.raises(ValueError):
             NoiseModel(fusion_error=1.5)
 
-    def test_zero_success_rejected(self):
-        with pytest.raises(ValueError):
-            NoiseModel(fusion_success=0.0)
+    def test_zero_success_is_a_valid_degenerate_bound(self):
+        """p=0 follows the same bound handling as the p=1 error rates:
+        the model is constructible and the derived quantities degenerate
+        (attempts diverge) instead of the constructor crashing."""
+        from repro.hardware.noise import expected_fusion_attempts
+
+        model = NoiseModel(fusion_success=0.0)
+        assert model.fusion_success == 0.0
+        assert expected_fusion_attempts(5, model) == float("inf")
+        assert expected_fusion_attempts(0, model) == 0.0
 
     @pytest.mark.parametrize(
         "field",

@@ -94,6 +94,27 @@ class TestAnalyticAgreement:
         expected = 1.0 / DEFAULT_NOISE.fusion_success
         assert result.attempts_per_fusion == pytest.approx(expected, rel=0.05)
 
+    def test_attempts_per_fusion_unbiased_on_lossy_model(self):
+        """Regression: loss-aborted shots stop before their fusion
+        sequence, so their pre-sampled attempts must not be tallied —
+        attempts per *completed* fusion still averages 1/fusion_success
+        even when a macroscopic fraction of shots aborts."""
+        model = NoiseModel(
+            fusion_success=0.5,
+            fusion_error=0.0,
+            cycle_loss=0.01,
+            measurement_error=0.0,
+        )
+        result = sample_yield(
+            get_benchmark("BV", 16), shots=3000, model=model, seed=13
+        )
+        assert result.loss_aborts > 300  # the lossy regime is active
+        assert result.completed == result.shots - result.loss_aborts
+        assert result.attempts_per_fusion == pytest.approx(2.0, rel=0.05)
+        # the tally covers completed shots only: it must be bounded by
+        # what those shots could have drawn, not by the all-shots total
+        assert result.fusion_attempts >= result.completed * result.counts.fusions
+
 
 class TestDeterminism:
     def test_seeded_runs_identical(self):
@@ -178,6 +199,100 @@ class TestEdgeCases:
         sampler = NoisySampler(get_benchmark("BV", 8), seed=1)
         with pytest.raises(ValueError):
             sampler.run(0)
+
+    def test_zero_fusion_success_rejected_with_clear_message(self):
+        """Regression: fusion_success=0 used to crash inside
+        rng.negative_binomial; the sampler must reject the degenerate
+        bound up front (RUS never terminates -> nothing to sample)."""
+        model = NoiseModel(fusion_success=0.0)
+        with pytest.raises(ValueError, match="never terminates"):
+            NoisySampler(get_benchmark("BV", 8), model=model, seed=1)
+
+    def test_zero_fusion_success_without_fusions_is_fine(self):
+        """With no fusions to perform the degenerate bound is vacuous."""
+        from repro.sim.noisy import FaultCounts
+
+        model = NoiseModel(
+            fusion_success=0.0, fusion_error=0.0, cycle_loss=0.0,
+            measurement_error=0.0,
+        )
+        result = sample_yield(
+            get_benchmark("BV", 8),
+            shots=50,
+            model=model,
+            counts=FaultCounts(fusions=0, measurements=10, photon_cycles=10),
+            seed=1,
+        )
+        assert result.yield_mc == 1.0
+        assert result.fusion_attempts == 0
+        assert result.attempts_per_fusion == 1.0
+
+    def test_unknown_engine_and_chunk_size_rejected(self):
+        sampler = NoisySampler(get_benchmark("BV", 8), seed=1)
+        with pytest.raises(ValueError, match="engine"):
+            sampler.run(10, engine="warp")
+        with pytest.raises(ValueError, match="chunk_size"):
+            sampler.run(10, chunk_size=0)
+
+
+HEAVY = NoiseModel(
+    fusion_success=0.5, fusion_error=0.2, cycle_loss=0.0005,
+    measurement_error=0.02,
+)
+
+
+def tallies(result):
+    return (
+        result.shots,
+        result.successes,
+        result.fault_free,
+        result.loss_aborts,
+        result.logical_failures,
+        result.executed,
+        result.fusion_attempts,
+    )
+
+
+class TestEngineEquivalence:
+    """The batched engine must reproduce the per-shot reference engine's
+    tallies bit for bit at a fixed seed (the tentpole CI contract)."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_batched_matches_per_shot_heavy_noise(self, seed):
+        circuit = get_benchmark("BV", 12)
+        scalar = NoisySampler(circuit, model=HEAVY, seed=seed).run(
+            400, engine="per-shot"
+        )
+        batched = NoisySampler(circuit, model=HEAVY, seed=seed).run(
+            400, engine="batched"
+        )
+        assert scalar.executed > 200  # heavy noise exercises the tableau
+        assert tallies(batched) == tallies(scalar)
+        assert scalar.engine == "per-shot"
+        assert batched.engine == "batched"
+
+    def test_batched_matches_per_shot_default_noise(self):
+        circuit = get_benchmark("BV", 12)
+        scalar = NoisySampler(circuit, seed=42).run(600, engine="per-shot")
+        batched = NoisySampler(circuit, seed=42).run(600, engine="batched")
+        assert tallies(batched) == tallies(scalar)
+
+    def test_chunk_boundaries_do_not_change_tallies(self):
+        """Shots not divisible by the chunk size, chunk sizes of 1 and
+        larger-than-the-run: all bit-identical."""
+        circuit = get_benchmark("BV", 10)
+        sampler = NoisySampler(circuit, model=HEAVY, seed=3)
+        reference = sampler.run(137, engine="per-shot")
+        for chunk_size in (1, 16, 137, 10_000):
+            result = NoisySampler(circuit, model=HEAVY, seed=3).run(
+                137, engine="batched", chunk_size=chunk_size
+            )
+            assert tallies(result) == tallies(reference), chunk_size
+
+    def test_default_engine_is_batched(self):
+        result = NoisySampler(get_benchmark("BV", 8), seed=5).run(100)
+        assert result.engine == "batched"
+        assert result.shots_per_second > 0.0
 
 
 class TestEstimateYield:

@@ -178,6 +178,25 @@ class TestFusionAtScale:
         rest = s.discard([2])
         assert rest.n == 2
 
+    def test_measurement_on_discarded_state_raises(self):
+        """discard() zeroes the destabilizer rows; a measurement there
+        would silently rowsum over them and return garbage — it must
+        raise instead (regression: it used to return a wrong outcome)."""
+        s = StabilizerState(3)
+        s.h(0)
+        s.cnot(0, 1)
+        rest = s.discard([2])
+        assert rest._destabilizers_valid is False
+        with pytest.raises(RuntimeError, match="stale destabilizers"):
+            rest.measure_z(0)
+        with pytest.raises(RuntimeError, match="stale destabilizers"):
+            rest.measure_pauli(PauliString.from_ops(rest.n, {0: "x", 1: "x"}))
+        with pytest.raises(RuntimeError, match="stale destabilizers"):
+            rest.expectation(PauliString.from_ops(rest.n, {0: "z"}))
+        # group-level inspection stays available: it only reads the
+        # (rebuilt) stabilizer half
+        assert len(rest.canonical_stabilizers()) == rest.n
+
 
 class TestCopyRngIndependence:
     def test_copy_forks_the_generator(self):

@@ -1,0 +1,296 @@
+"""Equivalence tests: batched tableau engine vs the scalar CHP engine.
+
+The batched engine shares one symplectic (x/z) tableau across the batch
+and keeps only sign bits per element, so every test here pins a batch
+element against an independently evolved scalar
+:class:`~repro.sim.stabilizer.StabilizerState` — gates, per-element
+Pauli injection, and measurement sequences (scalar replays force the
+batched outcomes, which makes the two row-operation sequences identical
+and the final tableaux exactly comparable).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.sim.stabilizer import PauliString, StabilizerState
+from repro.sim.stabilizer_batch import BatchedStabilizerState
+
+ONE_QUBIT = ("h", "s", "sdg", "x_gate", "y_gate", "z_gate")
+TWO_QUBIT = ("cnot", "cz", "swap")
+
+
+def random_gate_sequence(rng, n, length):
+    """A random Clifford gate sequence as (method, qubits) pairs."""
+    ops = []
+    for _ in range(length):
+        if n > 1 and rng.random() < 0.4:
+            a, b = rng.choice(n, size=2, replace=False)
+            ops.append((TWO_QUBIT[rng.integers(3)], (int(a), int(b))))
+        else:
+            ops.append(
+                (ONE_QUBIT[rng.integers(6)], (int(rng.integers(n)),))
+            )
+    return ops
+
+
+def apply_ops(state, ops):
+    for method, qubits in ops:
+        getattr(state, method)(*qubits)
+
+
+def assert_element_equals_scalar(batched, element, scalar):
+    """Exact tableau comparison of one batch element vs a scalar state."""
+    assert np.array_equal(batched.x, scalar.x)
+    assert np.array_equal(batched.z, scalar.z)
+    assert np.array_equal(batched.r[element], scalar.r)
+
+
+class TestUniformClifford:
+    @pytest.mark.parametrize("n", [1, 3, 8, 70])
+    def test_random_circuit_matches_scalar(self, n):
+        """A uniform gate sequence leaves every element equal to the
+        scalar engine evolved by the same sequence."""
+        rng = np.random.default_rng(n)
+        ops = random_gate_sequence(rng, n, 60)
+        batched = BatchedStabilizerState(n, batch=5)
+        scalar = StabilizerState(n)
+        apply_ops(batched, ops)
+        apply_ops(scalar, ops)
+        for element in range(batched.batch):
+            assert_element_equals_scalar(batched, element, scalar)
+
+    def test_apply_circuit_matches_scalar(self):
+        from repro.circuit import get_benchmark
+
+        circuit = get_benchmark("BV", 8)
+        batched = BatchedStabilizerState(8, batch=3).apply_circuit(circuit)
+        scalar = StabilizerState(8).apply_circuit(circuit)
+        for element in range(3):
+            assert_element_equals_scalar(batched, element, scalar)
+
+    def test_graph_state_matches_scalar(self):
+        graph = nx.gnm_random_graph(12, 30, seed=3)
+        batched, b_index = BatchedStabilizerState.graph_state(
+            graph, batch=4, zero_nodes=[0, 1]
+        )
+        scalar, s_index = StabilizerState.graph_state(
+            graph, zero_nodes=[0, 1]
+        )
+        assert b_index == s_index
+        for element in range(4):
+            assert_element_equals_scalar(batched, element, scalar)
+
+
+class TestPauliInjection:
+    def test_per_element_paulis_match_scalar_gates(self):
+        """inject_pauli on element b == the scalar Pauli gate on a state
+        evolved identically."""
+        rng = np.random.default_rng(11)
+        n, batch = 6, 4
+        ops = random_gate_sequence(rng, n, 40)
+        batched = BatchedStabilizerState(n, batch)
+        apply_ops(batched, ops)
+        faults = [
+            [(int(rng.integers(n)), "xyz"[rng.integers(3)]) for _ in range(k)]
+            for k in range(batch)
+        ]
+        for element, fault_list in enumerate(faults):
+            for qubit, kind in fault_list:
+                batched.inject_pauli(element, qubit, kind)
+        for element, fault_list in enumerate(faults):
+            scalar = StabilizerState(n)
+            apply_ops(scalar, ops)
+            for qubit, kind in fault_list:
+                getattr(scalar, f"{kind}_gate")(qubit)
+            assert_element_equals_scalar(batched, element, scalar)
+
+    def test_masked_pauli_gates(self):
+        batched = BatchedStabilizerState(2, batch=3)
+        batched.h(0)
+        batched.cnot(0, 1)
+        batched.x_gate(0, mask=np.array([True, False, True]))
+        with_x = StabilizerState(2)
+        with_x.h(0)
+        with_x.cnot(0, 1)
+        without_x = with_x.copy()
+        with_x.x_gate(0)
+        assert_element_equals_scalar(batched, 0, with_x)
+        assert_element_equals_scalar(batched, 1, without_x)
+        assert_element_equals_scalar(batched, 2, with_x)
+
+    def test_unknown_pauli_rejected(self):
+        with pytest.raises(ValueError, match="unknown Pauli"):
+            BatchedStabilizerState(2, batch=1).inject_pauli(0, 0, "w")
+
+
+class TestBatchedMeasurement:
+    def test_measurement_sequence_matches_forced_scalar_replay(self):
+        """Random-basis measurement sequence on a random graph state:
+        replaying each element's outcomes on the scalar engine (force=)
+        must be accepted and land on the exact same tableau."""
+        rng = np.random.default_rng(23)
+        n = 10
+        graph = nx.gnm_random_graph(n, 3 * n, seed=5)
+        batch = 6
+        batched, index = BatchedStabilizerState.graph_state(
+            graph, batch=batch, seed=99
+        )
+        # per-element Pauli frames so the sign planes genuinely differ
+        for element in range(batch):
+            batched.inject_pauli(element, int(rng.integers(n)), "y")
+        scalars = [
+            StabilizerState.graph_state(graph)[0] for _ in range(batch)
+        ]
+        frames = batched.r.copy()
+        for element, scalar in enumerate(scalars):
+            scalar.r[:] = frames[element]
+        paulis = [
+            PauliString.from_ops(n, {int(q): "xyz"[rng.integers(3)]})
+            for q in rng.permutation(n)
+        ]
+        for pauli in paulis:
+            outcomes = batched.measure_pauli(pauli)
+            assert outcomes.shape == (batch,)
+            for element, scalar in enumerate(scalars):
+                forced = scalar.measure_pauli(pauli, force=int(outcomes[element]))
+                assert forced == int(outcomes[element])
+        for element, scalar in enumerate(scalars):
+            assert_element_equals_scalar(batched, element, scalar)
+
+    def test_per_element_signs_flip_outcomes(self):
+        """Deterministic measurement with per-element sign vector: the
+        outcome is the base outcome XOR the element's sign."""
+        batched = BatchedStabilizerState(1, batch=4)
+        signs = np.array([0, 1, 0, 1], dtype=np.uint8)
+        outcomes = batched.measure_z(0, signs=signs)
+        assert np.array_equal(outcomes, signs)  # |0> measures +1
+
+    def test_random_outcomes_come_from_one_vectorized_draw(self):
+        """A random measurement consumes exactly one rng.integers draw
+        for the whole batch (per-batch outcomes, single draw)."""
+        batched = BatchedStabilizerState(1, batch=256, seed=42)
+        batched.h(0)
+        expected = np.random.default_rng(42).integers(
+            0, 2, size=256, dtype=np.uint8
+        )
+        outcomes = batched.measure_z(0)
+        assert np.array_equal(outcomes, expected)
+        assert 0 < outcomes.sum() < 256  # both values occur
+
+    def test_expectation_per_element(self):
+        batched = BatchedStabilizerState(2, batch=2)
+        batched.h(0)
+        batched.cnot(0, 1)
+        batched.inject_pauli(1, 0, "z")  # flips the XX sign of element 1
+        xx = PauliString.from_ops(2, {0: "x", 1: "x"})
+        assert np.array_equal(batched.expectation(xx), [0, 1])
+        assert batched.expectation(PauliString.from_ops(2, {0: "z"})) is None
+
+
+class TestConstruction:
+    def test_from_state_copies_not_aliases(self):
+        scalar = StabilizerState(3)
+        batched = BatchedStabilizerState.from_state(scalar, batch=2)
+        batched.h(0)
+        batched.inject_pauli(1, 0, "z")
+        assert np.array_equal(scalar.x, StabilizerState(3).x)
+        assert not scalar.r.any()
+
+    def test_from_state_rejects_stale_destabilizers(self):
+        s = StabilizerState(3)
+        s.h(0)
+        s.cnot(0, 1)
+        rest = s.discard([2])
+        with pytest.raises(ValueError, match="stale destabilizers"):
+            BatchedStabilizerState.from_state(rest, batch=2)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedStabilizerState(0, batch=1)
+        with pytest.raises(ValueError):
+            BatchedStabilizerState(1, batch=0)
+        with pytest.raises(ValueError):
+            BatchedStabilizerState.from_state(StabilizerState(1), batch=0)
+
+    def test_extract_is_independent(self):
+        batched = BatchedStabilizerState(2, batch=2)
+        batched.h(0)
+        scalar = batched.extract(0)
+        scalar.x_gate(0)
+        assert not batched.r.any()
+
+
+class TestBatchedPatternExecutor:
+    def test_fault_free_batch_satisfies_circuit_stabilizers(self):
+        from repro.circuit import get_benchmark
+        from repro.mbqc.translate import circuit_to_pattern
+        from repro.sim.pattern_sim import BatchedStabilizerPatternSimulator
+
+        circuit = get_benchmark("BV", 8)
+        pattern = circuit_to_pattern(circuit)
+        result = BatchedStabilizerPatternSimulator(pattern, seed=3).run(
+            batch=7
+        )
+        circuit_state = StabilizerState(circuit.num_qubits).apply_circuit(
+            circuit
+        )
+        for gx, gz, gr in circuit_state.stabilizer_rows():
+            pauli = result.output_pauli(pattern.outputs, gx, gz)
+            values = result.state.expectation(pauli)
+            assert values is not None
+            assert np.array_equal(values, np.full(7, gr, dtype=np.uint8))
+
+    def test_batched_executor_matches_forced_scalar_executor(self):
+        """Element-by-element: replay each batch element's physical
+        outcomes through the scalar executor (force_outcomes) with the
+        same detector flips; recorded outcomes and the final tableau
+        must coincide exactly."""
+        from repro.circuit import get_benchmark
+        from repro.mbqc.translate import circuit_to_pattern
+        from repro.sim.pattern_sim import (
+            BatchedStabilizerPatternSimulator,
+            StabilizerPatternSimulator,
+        )
+
+        circuit = get_benchmark("BV", 6)
+        pattern = circuit_to_pattern(circuit)
+        batch = 4
+        measured = [
+            node
+            for node in pattern.measurement_order()
+            if node not in pattern.outputs
+        ]
+        rng = np.random.default_rng(17)
+        flips = {
+            int(node): rng.integers(0, 2, size=batch, dtype=np.uint8)
+            for node in measured[:3]
+        }
+        result = BatchedStabilizerPatternSimulator(
+            pattern, seed=5, outcome_flips=flips
+        ).run(batch=batch)
+        for element in range(batch):
+            physical = {
+                node: int(
+                    result.outcomes[node][element]
+                    ^ (flips[node][element] if node in flips else 0)
+                )
+                for node in result.outcomes
+            }
+            element_flips = frozenset(
+                node for node in flips if flips[node][element]
+            )
+            scalar = StabilizerPatternSimulator(
+                pattern,
+                force_outcomes=physical,
+                outcome_flips=element_flips,
+            ).run()
+            for node in result.outcomes:
+                assert scalar.outcomes[node] == int(
+                    result.outcomes[node][element]
+                )
+            assert np.array_equal(result.state.x, scalar.state.x)
+            assert np.array_equal(result.state.z, scalar.state.z)
+            assert np.array_equal(
+                result.state.r[element], scalar.state.r
+            )
