@@ -16,7 +16,10 @@ Run:  PYTHONPATH=src python benchmarks/bench_noisy.py [--shots 2000]
 Writes ``benchmarks/BENCH_noisy_batch.json`` and exits non-zero when the
 tallies diverge or the batched speedup drops below the 10x gate.
 ``--quick`` shrinks the workload for a CI smoke and skips the speedup
-gate (equivalence is still enforced).
+gate (equivalence is still enforced).  The bit-packed frame engine
+rides along in both modes — its tallies must match too, making
+``--quick`` the three-way equivalence smoke — but its own speedup gate
+lives in ``bench_frame.py``.
 """
 
 from __future__ import annotations
@@ -92,8 +95,11 @@ def main(argv=None) -> int:
 
     scalar_seconds, scalar = run_engine(fresh_sampler(), shots, "per-shot")
     batched_seconds, batched = run_engine(fresh_sampler(), shots, "batched")
+    # the frame engine rides along (its own speedup gate lives in
+    # bench_frame.py); --quick doubles as its three-way equivalence smoke
+    frame_seconds, frame = run_engine(fresh_sampler(), shots, "frame")
 
-    identical = _tally(scalar) == _tally(batched)
+    identical = _tally(scalar) == _tally(batched) == _tally(frame)
     speedup = scalar_seconds / max(batched_seconds, 1e-12)
     payload = {
         "schema_version": 1,
@@ -119,6 +125,10 @@ def main(argv=None) -> int:
             "seconds": round(batched_seconds, 5),
             "shots_per_second": round(batched.shots_per_second, 1),
         },
+        "frame_engine": {
+            "seconds": round(frame_seconds, 5),
+            "shots_per_second": round(frame.shots_per_second, 1),
+        },
         "tally": _tally(batched),
         "yield_mc": round(batched.yield_mc, 6),
         "speedup": round(speedup, 1),
@@ -135,13 +145,16 @@ def main(argv=None) -> int:
         f"({scalar.shots_per_second:.0f} shots/s)\n"
         f"  batched engine:  {batched_seconds:.4f}s "
         f"({batched.shots_per_second:.0f} shots/s)\n"
-        f"  speedup: {speedup:.1f}x; tallies identical: {identical}\n"
+        f"  frame engine:    {frame_seconds:.4f}s "
+        f"({frame.shots_per_second:.0f} shots/s)\n"
+        f"  batched speedup: {speedup:.1f}x; tallies identical: {identical}\n"
         f"  wrote {out_path}"
     )
     if not identical:
         print("error: engine tallies diverged", file=sys.stderr)
         print(f"  per-shot: {_tally(scalar)}", file=sys.stderr)
         print(f"  batched:  {_tally(batched)}", file=sys.stderr)
+        print(f"  frame:    {_tally(frame)}", file=sys.stderr)
         return 1
     if not args.quick and speedup < SPEEDUP_GATE:
         print(

@@ -258,9 +258,9 @@ class YieldEstimate:
             fusion sequence; the observable the ``fusion_success`` axis
             of a noise sweep moves.
         method: ``"mc-stabilizer"`` or ``"analytic-only"``.
-        mc_engine: sampler execution path (``"batched"`` chunked tableau
-            or the ``"per-shot"`` reference); ``None`` when no sampling
-            ran.
+        mc_engine: sampler execution path (``"frame"`` bit-packed Pauli
+            frames, ``"batched"`` chunked tableau, or the ``"per-shot"``
+            reference); ``None`` when no sampling ran.
         shots_per_second: sampling throughput; ``None`` when no sampling
             ran.
         seconds: wall time spent sampling.
@@ -286,7 +286,7 @@ def estimate_yield(
     shots: int = 2000,
     seed: Optional[int] = 7,
     counts=None,
-    engine: str = "batched",
+    engine: str = "frame",
 ) -> YieldEstimate:
     """Estimate the end-to-end success probability of a compiled program.
 
@@ -309,9 +309,11 @@ def estimate_yield(
             pattern-level accounting.  Pass
             ``FaultCounts.from_program(program)`` to use the compiled
             program's fusion tally and photon-cycle estimate.
-        engine: sampler execution path — ``"batched"`` (default; chunked
-            shared-symplectic tableau) or ``"per-shot"`` (the reference
-            path).  Tallies are bit-identical at a fixed seed.
+        engine: sampler execution path — ``"frame"`` (default;
+            bit-packed Pauli frames, per-shot cost independent of qubit
+            count), ``"batched"`` (chunked shared-symplectic tableau)
+            or ``"per-shot"`` (the reference path).  Tallies are
+            bit-identical at a fixed seed.
     """
     from repro.hardware.noise import DEFAULT_NOISE
     from repro.mbqc.translate import circuit_to_pattern

@@ -28,7 +28,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Run-table columns, in on-disk CSV order.  Meanings:
 #:   key                 content hash of the spec (cache identity)
@@ -64,8 +64,9 @@ SCHEMA_VERSION = 4
 #:   mc_seconds   wall seconds of the Monte-Carlo stage
 #:   shots_per_second   Monte-Carlo sampling throughput (v4; None when
 #:       no sampling ran)
-#:   mc_engine   sampler execution path (v4): "batched" chunked tableau
-#:       or the "per-shot" reference; None when no sampling ran
+#:   mc_engine   sampler execution path (v4, "frame" added in v5):
+#:       "frame" bit-packed Pauli frames (default), "batched" chunked
+#:       tableau, or the "per-shot" reference; None when no sampling ran
 #:   cached    True when the row came from the on-disk cache
 RUN_TABLE_COLUMNS: List[str] = [
     "key",
@@ -143,9 +144,11 @@ class RunSpec:
     #: ``NoiseModel`` overrides as a sorted tuple of (name, value), e.g.
     #: ``(("cycle_loss", 0.01), ("fusion_success", 0.5))``
     noise: Tuple[Tuple[str, float], ...] = ()
-    #: Monte-Carlo sampler execution path: "batched" (default) or the
-    #: "per-shot" reference engine (bit-identical tallies, ~10x slower)
-    mc_engine: str = "batched"
+    #: Monte-Carlo sampler execution path: "frame" (default; bit-packed
+    #: Pauli frames), "batched" (chunked shared-symplectic tableau) or
+    #: the "per-shot" reference engine — all bit-identical tallies,
+    #: each ~10x+ slower than the previous
+    mc_engine: str = "frame"
     #: extra ``OneQConfig`` kwargs as a sorted tuple of (name, value)
     compiler_options: Tuple[Tuple[str, object], ...] = ()
 

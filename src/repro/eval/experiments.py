@@ -271,16 +271,16 @@ def noise_sweep_specs(
     resource_states: Sequence[str] = ("3-line",),
     shots: int = 2000,
     seed: int = 7,
-    mc_engine: str = "batched",
+    mc_engine: str = "frame",
 ):
     """Build the spec grid for :func:`run_noise_sweep`.
 
     One :class:`repro.eval.batch.RunSpec` per (benchmark, resource
     state, fusion_success, cycle_loss) coordinate; every spec carries
     ``shots`` Monte-Carlo shots, its noise overrides and the sampler
-    execution path (``mc_engine``: "batched" default, "per-shot"
-    reference), so yields and throughput land in the schema-v4
-    run-table columns.
+    execution path (``mc_engine``: "frame" default — bit-packed Pauli
+    frames — with "batched" and the "per-shot" reference available), so
+    yields and throughput land in the schema-v5 run-table columns.
     """
     from repro.eval.batch import RunSpec
 
@@ -319,7 +319,7 @@ def run_noise_sweep(
     out_dir=None,
     stem: str = "noise_sweep",
     label: str = "noise_sweep",
-    mc_engine: str = "batched",
+    mc_engine: str = "frame",
 ):
     """Sweep noise-model and hardware coordinates, sampling yields.
 

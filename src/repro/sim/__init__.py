@@ -1,5 +1,7 @@
-"""Simulation substrates: statevector, MBQC pattern, stabilizer, noisy MC."""
+"""Simulation substrates: statevector, MBQC pattern, stabilizer,
+Pauli frames, noisy MC."""
 
+from repro.sim.frame import FrameProgram, PauliFrameSimulator
 from repro.sim.noisy import (
     FaultCounts,
     NoisySampler,
@@ -36,8 +38,10 @@ __all__ = [
     "BatchedStabilizerPatternSimulator",
     "BatchedStabilizerState",
     "FaultCounts",
+    "FrameProgram",
     "NoisySampleResult",
     "NoisySampler",
+    "PauliFrameSimulator",
     "PatternResult",
     "PatternSimulator",
     "PauliString",

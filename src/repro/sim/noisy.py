@@ -42,19 +42,30 @@ per sampler as a calibration shot), so only faulty shots pay for a full
 tableau run.  At realistic error rates this makes large shot counts
 cheap.
 
-Faulty shots themselves run **batched**: all supported fault channels
-perturb only tableau *signs* (Pauli faults are sign updates, measurement
-flips act on classical bits), so a whole chunk of faulty shots shares
-one symplectic tableau and executes the measurement sequence once on
-:class:`repro.sim.stabilizer_batch.BatchedStabilizerState` — per-shot
-cost collapses to vectorized sign algebra.  ``engine="per-shot"`` keeps
-the original one-tableau-per-shot path as the reference; the two produce
-bit-identical tallies at a fixed seed (pass/fail per shot is a
-deterministic function of the sampled fault configuration — random
-measurement outcomes are a gauge the feed-forward corrections cancel —
-and the fault configurations are drawn identically), which
-``tests/sim/test_noisy.py`` pins and
-``benchmarks/bench_noisy.py`` gates at >= 10x speedup.
+Faulty shots themselves run on one of three engines, fastest first:
+
+* ``engine="frame"`` (default): the bit-packed Pauli-frame engine
+  (:mod:`repro.sim.frame`).  Every supported fault channel is a
+  sign-only perturbation of one fixed Clifford execution, so after a
+  single reference tableau run each faulty shot reduces to an X/Z flip
+  frame XOR-propagated 64 shots per ``uint64`` word — per-shot cost is
+  independent of qubit count.
+* ``engine="batched"``: a whole chunk of faulty shots shares one
+  symplectic tableau and executes the measurement sequence once on
+  :class:`repro.sim.stabilizer_batch.BatchedStabilizerState` — per-shot
+  cost collapses to vectorized sign algebra over the ``(batch, 2n)``
+  sign plane.
+* ``engine="per-shot"``: the original one-tableau-per-shot reference
+  path.
+
+All three produce bit-identical tallies at a fixed seed: pass/fail per
+shot is a deterministic function of the sampled fault configuration —
+random measurement outcomes are a gauge the feed-forward corrections
+cancel — and the fault configurations are drawn identically (sampling
+is separated from execution).  ``tests/sim/test_noisy.py`` pins the
+equivalence across engines, seeds, chunk sizes and noise grids;
+``benchmarks/bench_noisy.py`` gates batched >= 10x over per-shot and
+``benchmarks/bench_frame.py`` gates frame >= 10x over batched.
 """
 
 from __future__ import annotations
@@ -74,13 +85,28 @@ from repro.sim.pattern_sim import (
     StabilizerPatternSimulator,
     pattern_is_clifford,
 )
-from repro.sim.stabilizer import StabilizerState, circuit_is_clifford
+from repro.sim.stabilizer import StabilizerState, non_clifford_gate_counts
 
 #: Default faulty shots per batched tableau chunk.  Peak chunk memory is
 #: about ``chunk * 2 * pattern_nodes`` sign bytes plus the per-node
 #: outcome vectors — a few MB at hundreds of nodes — while big enough to
 #: amortize the shared symplectic work across the whole chunk.
 DEFAULT_CHUNK_SHOTS = 512
+
+#: Default faulty shots per frame-engine chunk.  Frames pack 64 shots
+#: per uint64 word, and each measurement step costs a handful of
+#: word-vector XORs regardless of chunk size — so much larger chunks
+#: amortize the per-step Python dispatch; 64k shots is ~1k words, i.e.
+#: ``(2n + steps) * 8`` KB of frame matrices.
+DEFAULT_FRAME_CHUNK_SHOTS = 1 << 16
+
+#: Engines `NoisySampler.run` accepts, fastest first.
+ENGINES = ("frame", "batched", "per-shot")
+
+#: Random-key matrix budget (elements) per block when placing distinct
+#: measurement-flip slots; bounds peak memory at ~32 MB of float64 keys
+#: however many shots carry flips.
+_FLIP_KEY_BLOCK = 1 << 22
 
 
 @dataclass(frozen=True)
@@ -145,8 +171,8 @@ class NoisySampleResult:
     shots that actually ran their fusion sequence — loss-aborted shots
     stop before their fusions and contribute nothing) and ``seconds``
     (wall time of the run).  ``engine`` records which execution path
-    produced the tally (``"batched"`` or ``"per-shot"``; both are
-    bit-identical at a fixed seed).
+    produced the tally (``"frame"``, ``"batched"`` or ``"per-shot"``;
+    all bit-identical at a fixed seed).
     """
 
     shots: int
@@ -159,7 +185,7 @@ class NoisySampleResult:
     counts: FaultCounts
     model: NoiseModel
     seconds: float = 0.0
-    engine: str = "batched"
+    engine: str = "frame"
 
     @property
     def yield_mc(self) -> float:
@@ -248,13 +274,18 @@ class NoisySampler:
             accounting.
         seed: seeds the fault sampling and all tableau RNGs; two
             samplers with equal arguments and seed produce identical
-            tallies bit for bit, on either engine.
+            tallies bit for bit, on every engine.
 
-    Fault configurations for all shots are sampled vectorized up front;
-    only shots with at least one non-loss fault event execute on the
-    tableau.  The default ``batched`` engine runs those faulty shots in
-    chunks on one shared-symplectic batched tableau
-    (:class:`repro.sim.stabilizer_batch.BatchedStabilizerState`);
+    Fault configurations for all shots are sampled vectorized up front,
+    and the shot classification (loss abort / fault free / readout
+    flip) is pure numpy mask algebra — tally-only shots never cost a
+    Python iteration.  Only shots with at least one non-loss,
+    non-readout fault event execute, on the engine of choice: the
+    default ``frame`` engine reduces them to bit-packed Pauli flip
+    frames (:class:`repro.sim.frame.PauliFrameSimulator`; per-shot cost
+    independent of qubit count), ``batched`` runs chunks on one
+    shared-symplectic batched tableau
+    (:class:`repro.sim.stabilizer_batch.BatchedStabilizerState`), and
     ``per-shot`` copies the base graph state per shot (the original
     reference path).
     """
@@ -269,10 +300,19 @@ class NoisySampler:
     ):
         from repro.mbqc.translate import circuit_to_pattern
 
-        if not circuit_is_clifford(circuit):
+        offenders = non_clifford_gate_counts(circuit)
+        if offenders:
+            listing = ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(
+                    offenders.items(), key=lambda item: (-item[1], item[0])
+                )
+            )
             raise ValueError(
-                "NoisySampler needs a Clifford circuit; non-Clifford "
-                "programs have no scalable exact reference"
+                f"NoisySampler needs a Clifford circuit; found "
+                f"{sum(offenders.values())} non-Clifford gate(s): "
+                f"{listing} — non-Clifford programs have no scalable "
+                "exact reference"
             )
         if pattern is None:
             pattern = circuit_to_pattern(circuit)
@@ -299,6 +339,7 @@ class NoisySampler:
                 "sample"
             )
         self.seed = seed
+        self._frame_sim = None  # compiled lazily on first engine="frame"
         self._outputs = frozenset(pattern.outputs)
         # node list in tableau-qubit order: graph_state sorts nodes, so
         # qubit i of the base tableau hosts self._nodes[i]
@@ -306,6 +347,15 @@ class NoisySampler:
         self._base, self._index = StabilizerState.graph_state(
             pattern.graph, zero_nodes=pattern.inputs
         )
+        # measurement slot -> does a flip there corrupt the classical
+        # readout directly?  Slots land on tableau qubits in order (the
+        # node list is sorted exactly like the graph-state qubits);
+        # slots at or beyond the node count model extra hardware
+        # readouts, which are classical by definition.
+        slot_readout = np.ones(self.counts.measurements, dtype=bool)
+        for slot in range(min(self.counts.measurements, len(self._nodes))):
+            slot_readout[slot] = self._nodes[slot] in self._outputs
+        self._slot_readout = slot_readout
         circuit_state = StabilizerState(circuit.num_qubits)
         circuit_state.apply_circuit(circuit)
         self._circuit_rows = circuit_state.stabilizer_rows()
@@ -348,7 +398,7 @@ class NoisySampler:
 
     def _execute_chunk(
         self,
-        chunk: List[Tuple[Optional[np.random.Generator], tuple, frozenset]],
+        chunk: List[Tuple[tuple, frozenset]],
         rng: np.random.Generator,
     ) -> np.ndarray:
         """Run a chunk of faulty shots on one batched tableau; returns
@@ -360,7 +410,7 @@ class NoisySampler:
         state = BatchedStabilizerState.from_state(self._base, size)
         state.rng = rng
         flip_map: Dict[int, np.ndarray] = {}
-        for element, (_, pauli_faults, flips) in enumerate(chunk):
+        for element, (pauli_faults, flips) in enumerate(chunk):
             for qubit, kind in pauli_faults:
                 state.inject_pauli(element, qubit, kind)
             for node in flips:
@@ -382,38 +432,111 @@ class NoisySampler:
             ok &= values == gr
         return ok
 
+    def _place_flips(
+        self, n_meas: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Place each faulty shot's erring-measurement slots, in bulk.
+
+        The binomial event count is the number of *distinct* erring
+        measurements, so slots are placed without replacement: every
+        shot with flips gets a row of random keys over the measurement
+        slots and takes its ``n_meas`` smallest (drawn in fixed-size
+        blocks to bound the key matrix at ``_FLIP_KEY_BLOCK``
+        elements).  Returns ``(readout, flip_shot, flip_qubit)``:
+        ``readout`` flags faulty rows with a flip on an output-readout
+        slot (classically wrong whatever the quantum state — those
+        shots never execute); the flat, shot-sorted ``(flip_shot,
+        flip_qubit)`` entries are the remaining rows' flips on
+        measured, non-output tableau qubits.
+        """
+        readout = np.zeros(n_meas.size, dtype=bool)
+        rows = np.flatnonzero(n_meas)
+        if rows.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return readout, empty, empty
+        m_slots = self.counts.measurements
+        shot_parts = []
+        qubit_parts = []
+        block = max(1, _FLIP_KEY_BLOCK // max(1, m_slots))
+        for start in range(0, rows.size, block):
+            sub = rows[start : start + block]
+            keys = rng.random((sub.size, m_slots))
+            order = np.argsort(keys, axis=1)
+            chosen = np.arange(m_slots)[None, :] < n_meas[sub][:, None]
+            local = np.nonzero(chosen)[0]  # block-row per chosen slot
+            slots = order[chosen]
+            block_readout = np.zeros(sub.size, dtype=bool)
+            np.logical_or.at(block_readout, local, self._slot_readout[slots])
+            readout[sub] = block_readout
+            keep = ~block_readout[local]
+            shot_parts.append(sub[local[keep]])
+            qubit_parts.append(slots[keep])
+        return (
+            readout,
+            np.concatenate(shot_parts),
+            np.concatenate(qubit_parts),
+        )
+
+    def _frame_simulator(self):
+        """Compile (once) and return the bit-packed frame engine.
+
+        The simulator stays self-contained: its own reference run
+        re-checks the calibration this sampler's ``__init__`` already
+        proved (one extra scalar pattern execution, once per sampler)
+        and its gauge reseeds stay enabled even though this caller only
+        consumes the tally-invariant pass mask — the frames it would
+        hand out are distribution-correct either way.
+        """
+        if self._frame_sim is None:
+            from repro.sim.frame import PauliFrameSimulator
+
+            self._frame_sim = PauliFrameSimulator(
+                self.pattern,
+                circuit_rows=self._circuit_rows,
+                prepared=(self._base.copy(), self._index),
+                seed=self.seed,
+            )
+        return self._frame_sim
+
     # ------------------------------------------------------------------
     def run(
         self,
         shots: int,
-        engine: str = "batched",
-        chunk_size: int = DEFAULT_CHUNK_SHOTS,
+        engine: str = "frame",
+        chunk_size: Optional[int] = None,
     ) -> NoisySampleResult:
         """Sample and execute *shots* noisy shots; returns the tally.
 
         Args:
             shots: number of Monte-Carlo shots (> 0).
-            engine: ``"batched"`` (default) executes faulty shots in
+            engine: ``"frame"`` (default) executes faulty shots as
+                bit-packed Pauli flip frames; ``"batched"`` runs them in
                 chunks on the shared-symplectic batched tableau;
                 ``"per-shot"`` is the original reference path.  Tallies
-                are bit-identical between the two at a fixed seed.
-            chunk_size: faulty shots per batched tableau; bounds peak
-                memory at roughly ``chunk_size * 2 * pattern_nodes``
-                sign bytes (ignored by ``per-shot``).
+                are bit-identical across the three at a fixed seed.
+            chunk_size: faulty shots per execution chunk (ignored by
+                ``per-shot``).  Defaults per engine: 64k for ``frame``
+                (~1k uint64 words per frame row), 512 for ``batched``
+                (bounding peak memory at roughly ``chunk_size * 2 *
+                pattern_nodes`` sign bytes).
         """
         if shots <= 0:
             raise ValueError("shots must be positive")
-        if engine not in ("batched", "per-shot"):
+        if engine not in ENGINES:
             raise ValueError(
-                f"unknown engine {engine!r}; use 'batched' or 'per-shot'"
+                f"unknown engine {engine!r}; use one of {', '.join(ENGINES)}"
+            )
+        if chunk_size is None:
+            chunk_size = (
+                DEFAULT_FRAME_CHUNK_SHOTS
+                if engine == "frame"
+                else DEFAULT_CHUNK_SHOTS
             )
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         t0 = time.perf_counter()
         counts, model = self.counts, self.model
-        root = np.random.SeedSequence(self.seed)
-        master_seed, *shot_seeds = root.spawn(shots + 1)
-        rng = np.random.default_rng(master_seed)
+        rng = np.random.default_rng(self.seed)
 
         def event_counts(n_events: int, rate: float) -> np.ndarray:
             if n_events == 0 or rate <= 0.0:
@@ -430,68 +553,89 @@ class NoisySampler:
         else:
             attempts = np.full(shots, counts.fusions, dtype=np.int64)
 
-        n_qubits = self._base.n
-        n_nodes = len(self._nodes)
-        fault_free = loss_aborts = logical_failures = 0
-        pending: List[Tuple[Optional[np.random.Generator], tuple, frozenset]] = []
-        for i in range(shots):
-            if losses[i] > 0:
-                loss_aborts += 1
-                continue
-            n_fus, n_meas = int(fusion_errors[i]), int(meas_errors[i])
-            if n_fus == 0 and n_meas == 0:
-                fault_free += 1
-                continue
-            shot_rng = np.random.default_rng(shot_seeds[i])
-            pauli_faults = tuple(
-                (int(q), "xyz"[int(p)])
-                for q, p in zip(
-                    shot_rng.integers(0, n_qubits, size=n_fus),
-                    shot_rng.integers(0, 3, size=n_fus),
-                )
-            )
-            # the binomial draw counts *distinct* erring measurements, so
-            # flip slots are placed without replacement
-            flips = set()
-            readout_flip = False
-            for slot in shot_rng.choice(
-                counts.measurements, size=n_meas, replace=False
-            ):
-                node = self._nodes[slot] if slot < n_nodes else None
-                if node is None or node in self._outputs:
-                    readout_flip = True
-                else:
-                    flips.add(node)
-            if readout_flip:
-                # a flipped output readout is classically wrong whatever
-                # the quantum state; no tableau run needed
-                logical_failures += 1
-                continue
-            # only the per-shot engine consumes the generator later; the
-            # batched engine draws from the master rng, so holding every
-            # pending generator would waste memory at large shot counts
-            pending.append((
-                shot_rng if engine == "per-shot" else None,
-                pauli_faults,
-                frozenset(flips),
-            ))
+        # shot classification is pure mask algebra: a lost shot aborts
+        # whatever else it drew, and a shot with zero non-loss events is
+        # tally-only — neither costs a Python iteration
+        loss_mask = losses > 0
+        faulty_mask = ~loss_mask & ((fusion_errors > 0) | (meas_errors > 0))
+        loss_aborts = int(loss_mask.sum())
+        fault_free = int(shots - loss_aborts - faulty_mask.sum())
 
-        executed = len(pending)
+        # fault placement for every faulty shot, in bulk from the master
+        # stream (execution never feeds back into sampling, so tallies
+        # cannot depend on the engine or the chunking)
+        n_fus = fusion_errors[faulty_mask]
+        fault_shot = np.repeat(np.arange(n_fus.size), n_fus)
+        fault_qubit = rng.integers(0, self._base.n, size=fault_shot.size)
+        fault_kind = rng.integers(0, 3, size=fault_shot.size)  # "xyz" index
+        readout, flip_shot, flip_qubit = self._place_flips(
+            meas_errors[faulty_mask], rng
+        )
+
+        # a flipped output readout is classically wrong whatever the
+        # quantum state, so those shots skip execution outright
+        logical_failures = int(readout.sum())
+        executed = int(n_fus.size - logical_failures)
+        position = np.cumsum(~readout) - 1  # faulty row -> executed slot
+        keep = ~readout[fault_shot]
+        fault_shot = position[fault_shot[keep]]
+        fault_qubit, fault_kind = fault_qubit[keep], fault_kind[keep]
+        flip_shot = position[flip_shot]  # flips only land on executed rows
+
         successes = fault_free
-        if engine == "per-shot":
-            for shot_rng, pauli_faults, flips in pending:
-                if self._execute_shot(shot_rng, pauli_faults, flips):
-                    successes += 1
-                else:
-                    logical_failures += 1
-        else:
+        if engine == "frame" and executed:
+            frame_sim = self._frame_simulator()
             for start in range(0, executed, chunk_size):
-                ok = self._execute_chunk(
-                    pending[start : start + chunk_size], rng
+                stop = min(start + chunk_size, executed)
+                f_lo, f_hi = np.searchsorted(fault_shot, (start, stop))
+                l_lo, l_hi = np.searchsorted(flip_shot, (start, stop))
+                ok = frame_sim.run_shots(
+                    stop - start,
+                    fault_qubit[f_lo:f_hi],
+                    fault_kind[f_lo:f_hi],
+                    fault_shot[f_lo:f_hi] - start,
+                    flip_qubit[l_lo:l_hi],
+                    flip_shot[l_lo:l_hi] - start,
+                    rng,
                 )
                 passed = int(ok.sum())
                 successes += passed
                 logical_failures += len(ok) - passed
+        elif executed:
+            # the tableau engines want per-shot Python structures; build
+            # them from the flat placement arrays
+            f_bounds = np.searchsorted(fault_shot, np.arange(executed + 1))
+            l_bounds = np.searchsorted(flip_shot, np.arange(executed + 1))
+            pending: List[Tuple[tuple, frozenset]] = [
+                (
+                    tuple(
+                        (int(q), "xyz"[int(k)])
+                        for q, k in zip(
+                            fault_qubit[f_bounds[j] : f_bounds[j + 1]],
+                            fault_kind[f_bounds[j] : f_bounds[j + 1]],
+                        )
+                    ),
+                    frozenset(
+                        self._nodes[int(q)]
+                        for q in flip_qubit[l_bounds[j] : l_bounds[j + 1]]
+                    ),
+                )
+                for j in range(executed)
+            ]
+            if engine == "per-shot":
+                for pauli_faults, flips in pending:
+                    if self._execute_shot(rng, pauli_faults, flips):
+                        successes += 1
+                    else:
+                        logical_failures += 1
+            else:
+                for start in range(0, executed, chunk_size):
+                    ok = self._execute_chunk(
+                        pending[start : start + chunk_size], rng
+                    )
+                    passed = int(ok.sum())
+                    successes += passed
+                    logical_failures += len(ok) - passed
 
         # loss-aborted shots stop before their fusion sequence, so their
         # pre-sampled attempt counts never happened and are not tallied
@@ -518,8 +662,8 @@ def sample_yield(
     model: NoiseModel = DEFAULT_NOISE,
     counts: Optional[FaultCounts] = None,
     seed: Optional[int] = 7,
-    engine: str = "batched",
-    chunk_size: int = DEFAULT_CHUNK_SHOTS,
+    engine: str = "frame",
+    chunk_size: Optional[int] = None,
 ) -> NoisySampleResult:
     """One-call convenience wrapper around :class:`NoisySampler`."""
     sampler = NoisySampler(

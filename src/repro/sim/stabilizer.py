@@ -606,16 +606,31 @@ def _dispatch_gate(state, gate) -> None:
         )
 
 
-def circuit_is_clifford(circuit) -> bool:
-    """True when every gate of *circuit* is one :meth:`StabilizerState.apply_gate`
+def _gate_is_clifford(gate) -> bool:
+    """One gate of the vocabulary :meth:`StabilizerState.apply_gate`
     accepts (the Clifford set, plus ``rz``/``p`` at Clifford angles)."""
+    if gate.name in _SINGLE_QUBIT_GATES or gate.name in ("cx", "cz", "swap"):
+        return True
+    return gate.name in ("rz", "p") and is_clifford_angle(gate.params[0])
+
+
+def circuit_is_clifford(circuit) -> bool:
+    """True when every gate of *circuit* is stabilizer-simulable."""
+    return all(_gate_is_clifford(gate) for gate in circuit)
+
+
+def non_clifford_gate_counts(circuit) -> Dict[str, int]:
+    """Gate name -> count of the gates the stabilizer engine rejects.
+
+    ``rz``/``p`` at Clifford angles (quarter turns) are exempt, exactly
+    as in :func:`circuit_is_clifford`; an empty dict means the circuit
+    is Clifford.  Used to name the offenders in rejection messages.
+    """
+    counts: Dict[str, int] = {}
     for gate in circuit:
-        if gate.name in _SINGLE_QUBIT_GATES or gate.name in ("cx", "cz", "swap"):
-            continue
-        if gate.name in ("rz", "p") and is_clifford_angle(gate.params[0]):
-            continue
-        return False
-    return True
+        if not _gate_is_clifford(gate):
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+    return counts
 
 
 def _g_sum(

@@ -202,24 +202,25 @@ class TestNoisyStage:
         assert record.mc_seconds > 0.0
         # boosted fusions retry ~1/0.75 times on average
         assert record.mc_attempts_per_fusion == pytest.approx(4 / 3, rel=0.1)
-        # schema v4: sampler throughput and execution path
-        assert record.mc_engine == "batched"
+        # schema v4/v5: sampler throughput and execution path
+        assert record.mc_engine == "frame"
         assert record.shots_per_second > 0.0
 
-    def test_per_shot_engine_reproduces_batched_yields(self):
-        """RunSpec.mc_engine reaches the sampler; both paths agree
+    def test_every_engine_reproduces_the_default_yields(self):
+        """RunSpec.mc_engine reaches the sampler; all three paths agree
         bit for bit and the choice is part of the cache identity."""
-        batched = execute_spec(RunSpec("BV", 8, shots=300))
-        scalar = execute_spec(
-            RunSpec("BV", 8, shots=300, mc_engine="per-shot")
-        )
-        assert scalar.mc_engine == "per-shot"
-        assert scalar.yield_mc == batched.yield_mc
-        assert scalar.mc_attempts_per_fusion == batched.mc_attempts_per_fusion
-        assert (
-            RunSpec("BV", 8, shots=300).key()
-            != RunSpec("BV", 8, shots=300, mc_engine="per-shot").key()
-        )
+        frame = execute_spec(RunSpec("BV", 8, shots=300))
+        for engine in ("batched", "per-shot"):
+            other = execute_spec(
+                RunSpec("BV", 8, shots=300, mc_engine=engine)
+            )
+            assert other.mc_engine == engine
+            assert other.yield_mc == frame.yield_mc
+            assert other.mc_attempts_per_fusion == frame.mc_attempts_per_fusion
+            assert (
+                RunSpec("BV", 8, shots=300).key()
+                != RunSpec("BV", 8, shots=300, mc_engine=engine).key()
+            )
 
     def test_non_clifford_benchmark_analytic_only(self):
         record = execute_spec(RunSpec("QFT", 8, shots=200))
@@ -289,7 +290,7 @@ class TestNoisyStage:
             assert column in row
         assert row["shots"] == "200"
         assert 0.0 <= float(row["yield_mc"]) <= 1.0
-        assert row["mc_engine"] == "batched"
+        assert row["mc_engine"] == "frame"
         assert float(row["shots_per_second"]) > 0.0
 
     def test_render_shows_yields(self):
@@ -331,16 +332,16 @@ class TestNoiseSweep:
         sweep_path = tmp_path / "BENCH_test_sweep.json"
         assert sweep_path.exists()
         payload = json.loads(sweep_path.read_text())
-        assert payload["schema_version"] == 4
+        assert payload["schema_version"] == 5
         assert len(payload["runs"]) == 2
         for entry in payload["runs"].values():
             assert 0.0 <= entry["yield_mc"] <= 1.0
             assert entry["shots"] == 200
-            assert entry["mc_engine"] == "batched"
+            assert entry["mc_engine"] == "frame"
             assert entry["shots_per_second"] > 0.0
 
     def test_committed_artifact_is_current_schema(self):
-        """benchmarks/BENCH_noise_sweep.json must track schema v4."""
+        """benchmarks/BENCH_noise_sweep.json must track schema v5."""
         import pathlib
 
         path = (
@@ -349,7 +350,7 @@ class TestNoiseSweep:
             / "BENCH_noise_sweep.json"
         )
         payload = json.loads(path.read_text())
-        assert payload["schema_version"] == 4
+        assert payload["schema_version"] == 5
         assert payload["runs"]
         bv_rows = [
             entry

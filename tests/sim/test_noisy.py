@@ -195,6 +195,36 @@ class TestEdgeCases:
         with pytest.raises(ValueError, match="Clifford"):
             NoisySampler(get_benchmark("QFT", 4))
 
+    def test_non_clifford_rejection_names_offending_gates(self):
+        """The rejection must say *which* gates are non-Clifford and how
+        many, not just that something somewhere is."""
+        from repro.sim.stabilizer import non_clifford_gate_counts
+
+        circuit = get_benchmark("QFT", 4)
+        offenders = non_clifford_gate_counts(circuit)
+        assert offenders  # QFT carries non-Clifford phase rotations
+        with pytest.raises(ValueError) as exc:
+            NoisySampler(circuit)
+        message = str(exc.value)
+        assert f"{sum(offenders.values())} non-Clifford gate(s)" in message
+        for name, count in offenders.items():
+            assert f"{name} x{count}" in message
+
+    def test_clifford_angle_rotations_not_named_as_offenders(self):
+        """rz/p at quarter-turn angles are stabilizer-simulable and must
+        not be counted."""
+        import math
+
+        from repro.circuit.circuit import Circuit
+        from repro.sim.stabilizer import non_clifford_gate_counts
+
+        circuit = Circuit(2)
+        circuit.h(0)
+        circuit.rz(math.pi / 2, 0)
+        circuit.p(math.pi, 1)
+        circuit.rz(math.pi / 3, 1)
+        assert non_clifford_gate_counts(circuit) == {"rz": 1}
+
     def test_nonpositive_shots_rejected(self):
         sampler = NoisySampler(get_benchmark("BV", 8), seed=1)
         with pytest.raises(ValueError):
@@ -253,31 +283,91 @@ def tallies(result):
     )
 
 
+#: Noise grid for the engine-equivalence property sweep.  ``all-faulty``
+#: makes every shot execute (each fusion errs with certainty, nothing is
+#: lost or flipped); ``zero-faulty`` executes nothing; the rest mix all
+#: channels at different strengths.
+EQUIVALENCE_NOISE = {
+    "default": DEFAULT_NOISE,
+    "heavy": HEAVY,
+    "all-faulty": NoiseModel(
+        fusion_success=1.0, fusion_error=1.0, cycle_loss=0.0,
+        measurement_error=0.0,
+    ),
+    "zero-faulty": QUIET,
+    "flip-dominated": NoiseModel(
+        fusion_success=1.0, fusion_error=0.0, cycle_loss=0.0,
+        measurement_error=0.1,
+    ),
+}
+
+
 class TestEngineEquivalence:
-    """The batched engine must reproduce the per-shot reference engine's
-    tallies bit for bit at a fixed seed (the tentpole CI contract)."""
+    """Every engine must reproduce the per-shot reference engine's
+    tallies bit for bit at a fixed seed (the tentpole CI contract):
+    pass/fail per shot is a deterministic function of the sampled fault
+    configuration, and configurations are drawn identically — sampling
+    is separated from execution."""
+
+    @pytest.mark.parametrize("noise", sorted(EQUIVALENCE_NOISE))
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    @pytest.mark.parametrize("shots", [1, 137])
+    def test_engines_identical_across_noise_grid(self, noise, seed, shots):
+        """frame x batched x per-shot, swept over seeds, shot counts
+        (including the degenerate single shot) and noise regimes
+        (including all-faulty and zero-faulty)."""
+        circuit = get_benchmark("BV", 10)
+        model = EQUIVALENCE_NOISE[noise]
+        reference = NoisySampler(circuit, model=model, seed=seed).run(
+            shots, engine="per-shot"
+        )
+        for engine in ("frame", "batched"):
+            result = NoisySampler(circuit, model=model, seed=seed).run(
+                shots, engine=engine
+            )
+            assert tallies(result) == tallies(reference), (engine, noise)
+            assert result.engine == engine
+        if noise == "all-faulty":
+            assert reference.executed == shots
+        if noise == "zero-faulty":
+            assert reference.executed == 0
 
     @pytest.mark.parametrize("seed", [0, 7, 123])
-    def test_batched_matches_per_shot_heavy_noise(self, seed):
-        circuit = get_benchmark("BV", 12)
+    def test_engines_match_heavy_noise_with_s_gates(self, seed):
+        """A Clifford circuit with S gates measures in the Y basis too —
+        the frame recurrence's (basis==Y)*s feed-forward term must agree
+        with the tableau engines there."""
+        import numpy as np
+
+        from repro.circuit.circuit import Circuit
+
+        rng = np.random.default_rng(seed)
+        circuit = Circuit(5)
+        for _ in range(30):
+            kind = int(rng.integers(4))
+            q = int(rng.integers(5))
+            if kind == 0:
+                circuit.h(q)
+            elif kind == 1:
+                circuit.s(q)
+            elif kind == 2:
+                circuit.x(q)
+            else:
+                other = int(rng.integers(5))
+                if other != q:
+                    circuit.cz(q, other)
         scalar = NoisySampler(circuit, model=HEAVY, seed=seed).run(
-            400, engine="per-shot"
+            300, engine="per-shot"
         )
-        batched = NoisySampler(circuit, model=HEAVY, seed=seed).run(
-            400, engine="batched"
-        )
-        assert scalar.executed > 200  # heavy noise exercises the tableau
-        assert tallies(batched) == tallies(scalar)
-        assert scalar.engine == "per-shot"
-        assert batched.engine == "batched"
+        assert scalar.executed > 150  # heavy noise exercises execution
+        for engine in ("frame", "batched"):
+            result = NoisySampler(circuit, model=HEAVY, seed=seed).run(
+                300, engine=engine
+            )
+            assert tallies(result) == tallies(scalar), engine
 
-    def test_batched_matches_per_shot_default_noise(self):
-        circuit = get_benchmark("BV", 12)
-        scalar = NoisySampler(circuit, seed=42).run(600, engine="per-shot")
-        batched = NoisySampler(circuit, seed=42).run(600, engine="batched")
-        assert tallies(batched) == tallies(scalar)
-
-    def test_chunk_boundaries_do_not_change_tallies(self):
+    @pytest.mark.parametrize("engine", ["frame", "batched"])
+    def test_chunk_boundaries_do_not_change_tallies(self, engine):
         """Shots not divisible by the chunk size, chunk sizes of 1 and
         larger-than-the-run: all bit-identical."""
         circuit = get_benchmark("BV", 10)
@@ -285,13 +375,13 @@ class TestEngineEquivalence:
         reference = sampler.run(137, engine="per-shot")
         for chunk_size in (1, 16, 137, 10_000):
             result = NoisySampler(circuit, model=HEAVY, seed=3).run(
-                137, engine="batched", chunk_size=chunk_size
+                137, engine=engine, chunk_size=chunk_size
             )
             assert tallies(result) == tallies(reference), chunk_size
 
-    def test_default_engine_is_batched(self):
+    def test_default_engine_is_frame(self):
         result = NoisySampler(get_benchmark("BV", 8), seed=5).run(100)
-        assert result.engine == "batched"
+        assert result.engine == "frame"
         assert result.shots_per_second > 0.0
 
 
