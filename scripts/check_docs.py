@@ -14,7 +14,10 @@ and everything under ``docs/``:
 2. every ``src/repro/...py``-style file reference in a docs table or
    inline code span points at a file that still exists;
 3. every ``repro.<module>`` dotted reference names an importable module
-   path under ``src/`` (attribute suffixes are tolerated).
+   path under ``src/``, and when the reference carries an attribute
+   suffix (``repro.sim.frame.FrameProgram``), the first attribute is
+   defined in that module's source — so renaming or deleting a class
+   breaks the doc check, not just deleting the file.
 
 Exits non-zero with a per-problem report when anything is broken, so
 docs rot fails CI instead of accumulating.
@@ -65,24 +68,54 @@ def iter_problems(path: pathlib.Path) -> Iterator[Tuple[int, str]]:
                 yield lineno, f"stale file reference: `{match.group(1)}`"
         for match in MODULE_REF_RE.finditer(line):
             dotted = match.group(1)
-            if not _module_exists(dotted):
-                yield lineno, f"stale module reference: `{dotted}`"
+            problem = _module_problem(dotted)
+            if problem is not None:
+                yield lineno, problem
 
 
-def _module_exists(dotted: str) -> bool:
-    """True when some prefix of *dotted* is a module under ``src/``.
+def _module_problem(dotted: str) -> "str | None":
+    """Check one dotted ``repro...`` reference; ``None`` when healthy.
 
-    References like ``repro.eval.batch.RunSpec`` carry attribute
-    suffixes, so we accept the longest prefix that maps to a package or
-    module file and trust the rest (attribute-level checking would need
-    imports, which the docs job avoids).
+    The longest prefix of *dotted* must map to a package or module file
+    under ``src/``.  Any remainder is an attribute path
+    (``repro.eval.batch.RunSpec``); its first segment must be *defined*
+    in the resolved module — as a ``class``, ``def``, or module-level
+    assignment, or re-exported for packages — which catches docs still
+    naming a class that was renamed away.  Checking is textual so the
+    docs job never imports the package.
     """
     parts = dotted.split(".")
     for end in range(len(parts), 1, -1):
         base = ROOT / "src" / pathlib.Path(*parts[:end])
-        if base.with_suffix(".py").exists() or (base / "__init__.py").exists():
-            return True
-    return False
+        if base.with_suffix(".py").exists():
+            source_path = base.with_suffix(".py")
+        elif (base / "__init__.py").exists():
+            source_path = base / "__init__.py"
+        else:
+            continue
+        if end == len(parts):
+            return None
+        attr = parts[end]
+        if _defines_name(source_path, attr):
+            return None
+        return (
+            f"stale attribute reference: `{dotted}` "
+            f"({attr!r} is not defined in {source_path.relative_to(ROOT)})"
+        )
+    return f"stale module reference: `{dotted}`"
+
+
+def _defines_name(source_path: pathlib.Path, name: str) -> bool:
+    """True when *name* is defined or re-exported at module top level."""
+    pattern = re.compile(
+        rf"^(?:class|def)\s+{re.escape(name)}\b"
+        rf"|^{re.escape(name)}\s*[:=]"
+        rf"|^\s+{re.escape(name)},?\s*$"      # import-list / __all__ entry
+        rf"|\b{re.escape(name)}\s*=\s"        # aliased assignment
+        rf"|import\s+.*\b{re.escape(name)}\b",
+        re.MULTILINE,
+    )
+    return bool(pattern.search(source_path.read_text()))
 
 
 def main() -> int:

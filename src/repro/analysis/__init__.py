@@ -1,0 +1,59 @@
+"""Static verification of compiled artifacts (patterns, frame programs).
+
+The simulation engines in :mod:`repro.sim` check compiled patterns
+*dynamically* — by executing them.  This package gives the static
+answer: structural linting of the artifacts themselves
+(:mod:`repro.analysis.lint`) and causal-flow / gflow determinism
+certification of the underlying open graph
+(:mod:`repro.analysis.flow`), the Mhalla-Perdrix machinery that proves
+a pattern is runnable and deterministic without a single shot.  The
+mutation harness (:mod:`repro.analysis.mutate`) validates the linter by
+corrupting known-good artifacts and asserting every corruption class is
+flagged.
+"""
+
+from repro.analysis.flow import (
+    DeterminismCertificate,
+    FlowViolation,
+    certify_pattern,
+    find_causal_flow,
+    find_gflow,
+    flow_corrections,
+)
+from repro.analysis.lint import (
+    LintIssue,
+    LintReport,
+    PatternLinter,
+    lint_compiled_program,
+    lint_frame_program,
+    lint_pattern,
+)
+from repro.analysis.mutate import (
+    FRAME_MUTATIONS,
+    MUTATION_EXPECTED_CODES,
+    PATTERN_MUTATIONS,
+    corrupt_frame_program,
+    corrupt_pattern,
+    harness_report,
+)
+
+__all__ = [
+    "DeterminismCertificate",
+    "FlowViolation",
+    "FRAME_MUTATIONS",
+    "LintIssue",
+    "LintReport",
+    "MUTATION_EXPECTED_CODES",
+    "PATTERN_MUTATIONS",
+    "PatternLinter",
+    "certify_pattern",
+    "corrupt_frame_program",
+    "corrupt_pattern",
+    "find_causal_flow",
+    "find_gflow",
+    "flow_corrections",
+    "harness_report",
+    "lint_compiled_program",
+    "lint_frame_program",
+    "lint_pattern",
+]

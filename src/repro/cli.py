@@ -11,6 +11,8 @@ Commands:
   on-disk cache) and persist run-table / BENCH artifacts;
 * ``noise-sweep`` — Monte-Carlo yield sweep across noise-model and
   resource-state coordinates (``BENCH_noise_sweep.json`` artifact);
+* ``lint``     — statically lint a compiled measurement pattern (flow
+  determinism certificate + structural checks; exit 1 on errors);
 * ``export``   — emit a benchmark circuit as OpenQASM 2.0.
 """
 
@@ -205,6 +207,54 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import lint_compiled_program, lint_pattern
+    from repro.mbqc.translate import circuit_to_pattern
+
+    circuit, name = _load_circuit(args)
+    pattern = circuit_to_pattern(circuit)
+    report = lint_pattern(pattern, name=name)
+    print(report.render())
+
+    if args.frame:
+        from repro.analysis import lint_frame_program
+        from repro.sim.pattern_sim import pattern_is_clifford
+        from repro.sim.stabilizer import StabilizerState
+
+        if not pattern_is_clifford(pattern):
+            print(f"{name}: frame lint skipped (non-Clifford pattern)")
+        else:
+            circuit_state = StabilizerState(circuit.num_qubits)
+            circuit_state.apply_circuit(circuit)
+            from repro.sim.frame import FrameProgram
+
+            _, index = StabilizerState.graph_state(
+                pattern.graph, zero_nodes=pattern.inputs
+            )
+            frame = FrameProgram.compile(
+                pattern, circuit_state.stabilizer_rows(), index
+            )
+            frame_report = lint_frame_program(
+                frame, pattern, name=f"{name} (frame program)"
+            )
+            print(frame_report.render())
+            report.extend(frame_report)
+
+    if args.compile:
+        hardware = _hardware_from(args, circuit.num_qubits)
+        compiler = OneQCompiler(OneQConfig(hardware=hardware))
+        program = compiler.compile_pattern(
+            pattern, name=name, num_qubits=circuit.num_qubits
+        )
+        program_report = lint_compiled_program(
+            program, hardware, name=f"{name} (compiled program)"
+        )
+        print(program_report.render())
+        report.extend(program_report)
+
+    return 0 if report.ok else 1
+
+
 def cmd_noise_sweep(args) -> int:
     import pathlib
 
@@ -239,13 +289,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    for cmd in ("compile", "baseline", "export"):
-        p = sub.add_parser(cmd)
+    for cmd in ("compile", "baseline", "export", "lint"):
+        p = sub.add_parser(
+            cmd,
+            help=(
+                "statically lint the compiled measurement pattern "
+                "(structural checks + flow determinism certificate); "
+                "exit 1 on any error"
+                if cmd == "lint" else None
+            ),
+        )
         p.add_argument("--benchmark", default="QFT", help="QFT|QAOA|RCA|BV")
         p.add_argument("--qubits", type=int, default=16)
         p.add_argument("--seed", type=int, default=7)
         p.add_argument("--qasm", help="compile a QASM file instead")
-        if cmd == "compile":
+        if cmd == "lint":
+            _add_hardware_args(p)
+            p.add_argument(
+                "--frame", action="store_true",
+                help="also compile and lint the bit-packed frame program "
+                "(Clifford patterns only)",
+            )
+            p.add_argument(
+                "--compile", action="store_true",
+                help="also run the OneQ compiler and lint the compiled "
+                "program's photon/fusion budgets and hardware mapping",
+            )
+        elif cmd == "compile":
             _add_hardware_args(p)
             p.add_argument(
                 "--layout", type=int, default=0,
@@ -371,6 +441,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_bench(args)
     if args.command == "noise-sweep":
         return cmd_noise_sweep(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     return cmd_table(args, args.command)
 
 

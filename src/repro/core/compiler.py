@@ -53,6 +53,10 @@ class OneQConfig:
     #: seed cross-partition ports near their earlier-layer counterparts
     #: (shortens shuffle paths; disable for ablation)
     use_placement_hints: bool = True
+    #: run the static pattern lint + flow certification as a pipeline
+    #: stage before mapping; a lint error aborts the compile
+    #: (:class:`repro.core.validate.ValidationError`)
+    lint: bool = False
 
 
 @dataclass
@@ -129,7 +133,7 @@ def settle_photon_budget(
 class OneQCompiler:
     """Compile circuits (or patterns) to photonic one-way programs."""
 
-    def __init__(self, config: OneQConfig):
+    def __init__(self, config: OneQConfig) -> None:
         self.config = config
 
     # ------------------------------------------------------------------
@@ -167,6 +171,18 @@ class OneQCompiler:
             pattern.graph.degree(node)
         )
         stage_seconds: Dict[str, float] = {}
+        if cfg.lint:
+            from repro.analysis.lint import lint_pattern
+            from repro.core.validate import ValidationError
+
+            t0 = time.perf_counter()
+            report = lint_pattern(pattern, name=name)
+            stage_seconds["lint"] = time.perf_counter() - t0
+            if not report.ok:
+                raise ValidationError(
+                    f"{name}: pattern fails static lint before mapping:\n"
+                    + report.render()
+                )
         t0 = time.perf_counter()
         layers = schedule_layers(pattern, part_cfg)
         stage_seconds["schedule"] = time.perf_counter() - t0

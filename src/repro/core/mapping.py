@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 import networkx as nx
 
@@ -76,7 +76,7 @@ class InLayerMapper:
         route_radius: int = 6,
         route_targets_limit: int = 6,
         connect_radius: Optional[int] = None,
-    ):
+    ) -> None:
         rows, cols = shape
         if rows < 2 or cols < 2:
             raise ValueError("layer must be at least 2x2")
@@ -181,7 +181,9 @@ class InLayerMapper:
                 y1 = c
         return (x1 - x0 + 1) * (y1 - y0 + 1)
 
-    def _blockage_score(self, node: FGNode, coord: Coord, occupied_extra) -> float:
+    def _blockage_score(
+        self, node: FGNode, coord: Coord, occupied_extra: Set[Coord]
+    ) -> float:
         """Blockage contribution of one placed node given extra occupancy."""
         remaining = self._remaining.get(node, 0)
         if remaining <= 0:
@@ -335,7 +337,7 @@ class InLayerMapper:
     def _bfs_path(
         self,
         start: Coord,
-        goal_test,
+        goal_test: Callable[[Coord, Coord], bool],
         max_len: Optional[int] = None,
         avoid: Optional[Set[Coord]] = None,
     ) -> Optional[List[Coord]]:
@@ -471,7 +473,9 @@ class InLayerMapper:
         place = self.placements.get(node)
         return place is not None and place.layer == len(self.layers) - 1
 
-    def _realize_edge(self, a: FGNode, b: FGNode, graph: nx.Graph):
+    def _realize_edge(
+        self, a: FGNode, b: FGNode, graph: nx.Graph
+    ) -> Union[str, int]:
         """Attempt one edge.  Returns:
 
         * ``"edge"`` — realized by direct adjacency (1 fusion);
@@ -514,7 +518,7 @@ class InLayerMapper:
         return self._attach_new(placed_node, new_node, graph)
 
     # ------------------------------------------------------------------
-    def _connect_placed(self, a: FGNode, b: FGNode):
+    def _connect_placed(self, a: FGNode, b: FGNode) -> Union[str, int]:
         """Route an edge between two already-placed nodes (same layer)."""
         if self._node_capacity_left(a) <= 0 or self._node_capacity_left(b) <= 0:
             return "defer"
@@ -539,7 +543,9 @@ class InLayerMapper:
         self._current.paths.append(path)
         return len(path) - 2  # routing fusions beyond the 1 edge fusion
 
-    def _attach_new(self, placed: FGNode, new: FGNode, graph: nx.Graph):
+    def _attach_new(
+        self, placed: FGNode, new: FGNode, graph: nx.Graph
+    ) -> Union[str, int]:
         """Place *new* adjacent to *placed* (directly or via routing)."""
         if self._node_capacity_left(placed) <= 0:
             # port exhausted by routing overhead; hand to shuffling

@@ -11,7 +11,7 @@ enforcement on — the accumulated subgraph stops being planar.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -93,7 +93,7 @@ def schedule_layers(
 def partition_pattern(
     pattern: MeasurementPattern,
     config: PartitionConfig = PartitionConfig(),
-    size_estimator=None,
+    size_estimator: Optional[Callable[[int], int]] = None,
     layers: Optional[List[List[int]]] = None,
 ) -> List[GraphPartition]:
     """Partition *pattern*'s graph state by executability order.

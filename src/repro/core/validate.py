@@ -25,13 +25,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.circuit.circuit import Circuit
 from repro.core.compiler import CompiledProgram
 from repro.core.mapping import LayerLayout
 from repro.hardware.coupling import HardwareConfig
 from repro.mbqc.pattern import MeasurementPattern
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.noise import NoiseModel
+    from repro.sim.noisy import FaultCounts
 
 Coord = Tuple[int, int]
 
@@ -127,10 +131,14 @@ class PatternVerification:
 
     ``ok`` is ``None`` when no engine could handle the instance
     (``method == "skipped"``) — a skip must never read as a pass.
+
+    The ``static`` method certifies *determinism and feed-forward
+    consistency* (flow certificate + lint), not full circuit
+    equivalence; ``detail`` says so explicitly.
     """
 
     ok: Optional[bool]
-    method: str  # "stabilizer" | "statevector" | "skipped"
+    method: str  # "stabilizer" | "statevector" | "static" | "skipped"
     seconds: float = 0.0
     detail: str = ""
 
@@ -187,33 +195,75 @@ def _verify_statevector(
     return ok, f"fidelity={fidelity(reference, result.state):.6f}"
 
 
+def _verify_static(pattern: MeasurementPattern) -> Tuple[bool, str]:
+    """Certify *pattern* statically: lint + flow determinism certificate.
+
+    A pass means the pattern is structurally sound, carries a causal
+    flow / gflow determinism certificate, and (under causal flow) its
+    recorded feed-forward sets equal the flow-induced ones.  It does
+    **not** check the measurement *angles* against the circuit — that
+    needs an executing engine — so the detail string states the weaker
+    claim explicitly.
+    """
+    from repro.analysis.lint import lint_pattern
+
+    report = lint_pattern(pattern)
+    if not report.ok:
+        first = report.errors()[0]
+        return False, (
+            f"{len(report.errors())} lint error(s); first: {first.render()}"
+        )
+    assert report.certificate is not None
+    return True, (
+        f"determinism certified ({report.certificate.summary()}); "
+        "angles not checked against the circuit (static method)"
+    )
+
+
 def verify_pattern(
     circuit: Circuit,
     pattern: Optional[MeasurementPattern] = None,
     seed: Optional[int] = 7,
     max_dense_outputs: int = 12,
+    method: str = "auto",
 ) -> PatternVerification:
     """Check that *pattern* (default: the translation of *circuit*)
-    implements *circuit*, auto-selecting the verification engine.
+    implements *circuit*.
 
-    Clifford patterns go to the stabilizer engine regardless of size;
-    non-Clifford patterns use the dense pattern simulator when the output
-    register has at most ``max_dense_outputs`` qubits, and are reported
-    as ``skipped`` (``ok=None``) otherwise.
+    ``method="auto"`` picks the strongest applicable engine: Clifford
+    patterns go to the stabilizer engine regardless of size;
+    non-Clifford patterns use the dense pattern simulator when the
+    output register has at most ``max_dense_outputs`` qubits; everything
+    else falls back to the ``static`` method — flow-based determinism
+    certification plus the pattern lint — instead of a bare skip.
+    ``method`` can also force one engine: ``"stabilizer"``,
+    ``"statevector"`` or ``"static"``.
     """
     from repro.mbqc.translate import circuit_to_pattern
     from repro.sim.pattern_sim import pattern_is_clifford
     from repro.sim.stabilizer import circuit_is_clifford
 
+    if method not in ("auto", "stabilizer", "statevector", "static"):
+        raise ValueError(f"unknown verification method {method!r}")
     t0 = time.perf_counter()
     if pattern is None:
         pattern = circuit_to_pattern(circuit)
-    if pattern_is_clifford(pattern) and circuit_is_clifford(circuit):
+    if method == "static":
+        ok, detail = _verify_static(pattern)
+        return PatternVerification(
+            ok, "static", time.perf_counter() - t0, detail
+        )
+    clifford = pattern_is_clifford(pattern) and circuit_is_clifford(circuit)
+    if method == "stabilizer" and not clifford:
+        raise ValueError(
+            "stabilizer verification needs a Clifford circuit and pattern"
+        )
+    if clifford and method in ("auto", "stabilizer"):
         ok, detail = _verify_stabilizer(circuit, pattern, seed)
         return PatternVerification(
             ok, "stabilizer", time.perf_counter() - t0, detail
         )
-    if len(pattern.outputs) <= max_dense_outputs:
+    if method == "statevector" or len(pattern.outputs) <= max_dense_outputs:
         try:
             ok, detail = _verify_statevector(circuit, pattern, seed)
         except RuntimeError as exc:  # active-window blowup and kin
@@ -223,12 +273,14 @@ def verify_pattern(
         return PatternVerification(
             ok, "statevector", time.perf_counter() - t0, detail
         )
+    ok, detail = _verify_static(pattern)
     return PatternVerification(
-        None,
-        "skipped",
+        ok,
+        "static",
         time.perf_counter() - t0,
         f"{len(pattern.outputs)} outputs exceed the dense limit "
-        f"({max_dense_outputs}) and no exact engine applies",
+        f"({max_dense_outputs}); fell back to static certification: "
+        f"{detail}",
     )
 
 
@@ -282,10 +334,10 @@ class YieldEstimate:
 def estimate_yield(
     circuit: Circuit,
     pattern: Optional[MeasurementPattern] = None,
-    model=None,
+    model: Optional["NoiseModel"] = None,
     shots: int = 2000,
     seed: Optional[int] = 7,
-    counts=None,
+    counts: Optional["FaultCounts"] = None,
     engine: str = "frame",
 ) -> YieldEstimate:
     """Estimate the end-to-end success probability of a compiled program.

@@ -28,7 +28,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Run-table columns, in on-disk CSV order.  Meanings:
 #:   key                 content hash of the spec (cache identity)
@@ -48,7 +48,10 @@ SCHEMA_VERSION = 5
 #:   verified/verify_method/verify_seconds   semantic verification stage
 #:       (``verify=True`` specs): did the compiled pattern implement the
 #:       circuit, which engine checked it (stabilizer for Clifford
-#:       patterns, statevector for small dense ones, skipped otherwise)
+#:       patterns, statevector for small dense ones, static flow-based
+#:       determinism certification otherwise)
+#:   lint_issues   static-lint error count over the pattern and compiled
+#:       program (v6, ``lint=True`` specs; None = lint stage not run)
 #:   noise     NoiseModel overrides as "name=value,..." ("" = defaults)
 #:   shots     Monte-Carlo shots actually sampled (0 = no sampling ran,
 #:       including non-Clifford programs where only the analytic yield
@@ -106,6 +109,7 @@ RUN_TABLE_COLUMNS: List[str] = [
     "verified",
     "verify_method",
     "verify_seconds",
+    "lint_issues",
     "noise",
     "shots",
     "yield_mc",
@@ -137,8 +141,12 @@ class RunSpec:
     extension: int = 1
     include_baseline: bool = True
     #: semantically verify the compiled pattern against the circuit
-    #: (auto-picking the stabilizer or statevector engine)
+    #: (auto-picking the stabilizer, statevector or static engine)
     verify: bool = False
+    #: statically lint the pattern and compiled program
+    #: (:class:`repro.analysis.lint.PatternLinter`); the error count
+    #: lands in the ``lint_issues`` column
+    lint: bool = False
     #: Monte-Carlo shots for noisy execution (0 disables the MC stage)
     shots: int = 0
     #: ``NoiseModel`` overrides as a sorted tuple of (name, value), e.g.
@@ -212,6 +220,7 @@ class RunRecord:
     verified: Optional[bool] = None
     verify_method: Optional[str] = None
     verify_seconds: float = 0.0
+    lint_issues: Optional[int] = None
     noise: str = ""
     shots: int = 0
     yield_mc: Optional[float] = None
@@ -269,6 +278,16 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         verified = report.ok
         verify_method = report.method
         verify_seconds = report.seconds
+
+    lint_issues = None
+    if spec.lint:
+        from repro.analysis.lint import lint_compiled_program, lint_pattern
+
+        lint_report = lint_pattern(pattern, name=spec.label)
+        lint_report.extend(
+            lint_compiled_program(program, hardware, name=spec.label)
+        )
+        lint_issues = len(lint_report.errors())
 
     yield_mc = yield_analytic = mc_attempts = None
     shots_per_second = mc_engine = None
@@ -351,6 +370,7 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         verified=verified,
         verify_method=verify_method,
         verify_seconds=verify_seconds,
+        lint_issues=lint_issues,
         noise=spec.noise_label(),
         shots=mc_shots,
         yield_mc=yield_mc,
@@ -621,6 +641,11 @@ def render_run_records(records: Sequence[RunRecord]) -> str:
             verify = (
                 f"  verify[{r.verify_method}]="
                 f"{'ok' if r.verified else 'FAILED'}"
+            )
+        if r.lint_issues is not None:
+            verify += (
+                "  lint=clean" if r.lint_issues == 0
+                else f"  lint={r.lint_issues} error(s)"
             )
         noisy = ""
         if r.yield_analytic is not None:

@@ -260,14 +260,14 @@ class PauliFrameSimulator:
     def __init__(
         self,
         pattern: MeasurementPattern,
-        circuit=None,
+        circuit: Optional["Circuit"] = None,
         circuit_rows: Optional[
             Sequence[Tuple[np.ndarray, np.ndarray, int]]
         ] = None,
         prepared: Optional[Tuple[StabilizerState, Dict[int, int]]] = None,
         seed: Optional[int] = None,
         reseed: bool = True,
-    ):
+    ) -> None:
         if (circuit is None) == (circuit_rows is None):
             raise ValueError("pass exactly one of circuit / circuit_rows")
         if not pattern_is_clifford(pattern):

@@ -73,7 +73,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -86,6 +86,10 @@ from repro.sim.pattern_sim import (
     pattern_is_clifford,
 )
 from repro.sim.stabilizer import StabilizerState, non_clifford_gate_counts
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compiler import CompiledProgram
+    from repro.sim.frame import PauliFrameSimulator
 
 #: Default faulty shots per batched tableau chunk.  Peak chunk memory is
 #: about ``chunk * 2 * pattern_nodes`` sign bytes plus the per-node
@@ -144,7 +148,7 @@ class FaultCounts:
         )
 
     @classmethod
-    def from_program(cls, program) -> "FaultCounts":
+    def from_program(cls, program: "CompiledProgram") -> "FaultCounts":
         """Compiled-program accounting, matching
         :func:`repro.hardware.noise.program_log_fidelity`: the mapper's
         fusion tally, one measurement per pattern node, and a pessimistic
@@ -297,7 +301,7 @@ class NoisySampler:
         model: NoiseModel = DEFAULT_NOISE,
         counts: Optional[FaultCounts] = None,
         seed: Optional[int] = None,
-    ):
+    ) -> None:
         from repro.mbqc.translate import circuit_to_pattern
 
         offenders = non_clifford_gate_counts(circuit)
@@ -477,7 +481,7 @@ class NoisySampler:
             np.concatenate(qubit_parts),
         )
 
-    def _frame_simulator(self):
+    def _frame_simulator(self) -> "PauliFrameSimulator":
         """Compile (once) and return the bit-packed frame engine.
 
         The simulator stays self-contained: its own reference run

@@ -53,7 +53,7 @@ class PatternSimulator:
         seed: Optional[int] = None,
         force_outcomes: Optional[Dict[int, int]] = None,
         max_active: int = 22,
-    ):
+    ) -> None:
         self.pattern = pattern
         self.rng = np.random.default_rng(seed)
         self.force_outcomes = force_outcomes or {}
@@ -317,7 +317,7 @@ class StabilizerPatternSimulator:
         seed: Optional[int] = None,
         force_outcomes: Optional[Dict[int, int]] = None,
         outcome_flips: Optional[Iterable[int]] = None,
-    ):
+    ) -> None:
         if not pattern_is_clifford(pattern):
             raise ValueError(
                 "pattern has non-Pauli measurement angles; "
@@ -462,7 +462,7 @@ class BatchedStabilizerPatternSimulator:
         pattern: MeasurementPattern,
         seed: Optional[int] = None,
         outcome_flips: Optional[Dict[int, np.ndarray]] = None,
-    ):
+    ) -> None:
         if not pattern_is_clifford(pattern):
             raise ValueError(
                 "pattern has non-Pauli measurement angles; "

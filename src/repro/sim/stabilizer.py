@@ -19,12 +19,24 @@ of an interpreted O(n^2) loop; the seed implementation is preserved in
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import networkx as nx
 import numpy as np
 
 from repro.utils.angles import is_clifford_angle, normalize_angle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuit.circuit import Circuit
+    from repro.circuit.gates import Gate
 
 _ONE = np.uint64(1)
 _SIX3 = np.uint64(63)
@@ -88,7 +100,7 @@ def _phase_sum_packed(
 class PauliString:
     """A signed Pauli product on *n* qubits, e.g. ``+X0*Z3``."""
 
-    def __init__(self, num_qubits: int):
+    def __init__(self, num_qubits: int) -> None:
         self.n = num_qubits
         self.x = np.zeros(num_qubits, dtype=np.uint8)
         self.z = np.zeros(num_qubits, dtype=np.uint8)
@@ -130,7 +142,7 @@ class PauliString:
 class StabilizerState:
     """A stabilizer state on ``num_qubits`` qubits, initially ``|0...0>``."""
 
-    def __init__(self, num_qubits: int, seed: Optional[int] = None):
+    def __init__(self, num_qubits: int, seed: Optional[int] = None) -> None:
         if num_qubits <= 0:
             raise ValueError("num_qubits must be positive")
         n = num_qubits
@@ -374,7 +386,7 @@ class StabilizerState:
     # ------------------------------------------------------------------
     # batched circuit application
     # ------------------------------------------------------------------
-    def apply_gate(self, gate) -> None:
+    def apply_gate(self, gate: "Gate") -> None:
         """Apply one circuit gate (duck-typed: ``name``/``qubits``/``params``).
 
         Supports the Clifford gate set plus ``rz``/``p`` at Clifford
@@ -383,7 +395,7 @@ class StabilizerState:
         """
         _dispatch_gate(self, gate)
 
-    def apply_circuit(self, circuit) -> "StabilizerState":
+    def apply_circuit(self, circuit: "Circuit") -> "StabilizerState":
         """Apply every gate of a (Clifford) circuit; returns ``self``."""
         for gate in circuit:
             _dispatch_gate(self, gate)
@@ -574,7 +586,7 @@ _SINGLE_QUBIT_GATES: Dict[str, Tuple[str, ...]] = {
 }
 
 
-def _dispatch_gate(state, gate) -> None:
+def _dispatch_gate(state: "StabilizerState", gate: "Gate") -> None:
     """Circuit-gate -> tableau-method dispatch, shared by the scalar and
     batched engines (both expose the same gate-method names), so the
     gate vocabulary and the rz/p quarter-turn lowering live exactly
@@ -606,7 +618,7 @@ def _dispatch_gate(state, gate) -> None:
         )
 
 
-def _gate_is_clifford(gate) -> bool:
+def _gate_is_clifford(gate: "Gate") -> bool:
     """One gate of the vocabulary :meth:`StabilizerState.apply_gate`
     accepts (the Clifford set, plus ``rz``/``p`` at Clifford angles)."""
     if gate.name in _SINGLE_QUBIT_GATES or gate.name in ("cx", "cz", "swap"):
@@ -614,12 +626,12 @@ def _gate_is_clifford(gate) -> bool:
     return gate.name in ("rz", "p") and is_clifford_angle(gate.params[0])
 
 
-def circuit_is_clifford(circuit) -> bool:
+def circuit_is_clifford(circuit: "Circuit") -> bool:
     """True when every gate of *circuit* is stabilizer-simulable."""
     return all(_gate_is_clifford(gate) for gate in circuit)
 
 
-def non_clifford_gate_counts(circuit) -> Dict[str, int]:
+def non_clifford_gate_counts(circuit: "Circuit") -> Dict[str, int]:
     """Gate name -> count of the gates the stabilizer engine rejects.
 
     ``rz``/``p`` at Clifford angles (quarter turns) are exempt, exactly
@@ -700,7 +712,9 @@ def _canonicalize(
     return sorted(out)
 
 
-def graph_state_stabilizers(graph: nx.Graph, order: Optional[Sequence] = None):
+def graph_state_stabilizers(
+    graph: nx.Graph, order: Optional[Sequence] = None
+) -> List[Tuple[Tuple[int, ...], int]]:
     """Canonical stabilizer set of a graph state (for comparisons)."""
     state, _ = StabilizerState.graph_state(graph, order=order)
     return state.canonical_stabilizers()

@@ -32,7 +32,7 @@ on random Clifford circuits).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple
 
 import networkx as nx
 import numpy as np
@@ -48,6 +48,10 @@ from repro.sim.stabilizer import (
     _pack_bits,
     _phase_sum_packed,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuit.circuit import Circuit
+    from repro.circuit.gates import Gate
 
 #: injected-Pauli kind -> which tableau columns flip a row's sign:
 #: X flips rows with a Z there, Z flips rows with an X, Y flips both.
@@ -75,7 +79,7 @@ class BatchedStabilizerState:
 
     def __init__(
         self, num_qubits: int, batch: int, seed: Optional[int] = None
-    ):
+    ) -> None:
         if num_qubits <= 0:
             raise ValueError("num_qubits must be positive")
         if batch <= 0:
@@ -143,14 +147,22 @@ class BatchedStabilizerState:
 
     def extract(self, element: int) -> StabilizerState:
         """Copy one batch element out as a scalar :class:`StabilizerState`
-        (fresh RNG; for comparisons and tests)."""
+        (forked RNG; for comparisons and tests)."""
         out = object.__new__(StabilizerState)
         out.n = self.n
         out.num_words = self.num_words
         out.x = self.x.copy()
         out.z = self.z.copy()
         out.r = self.r[element].copy()
-        out.rng = np.random.default_rng()
+        # fork from the batch generator's seed sequence rather than the
+        # OS entropy pool: the extracted copy stays reproducible under
+        # the batch's seed, and the parent's draw stream is untouched
+        try:
+            out.rng = self.rng.spawn(1)[0]
+        except AttributeError:  # pragma: no cover - NumPy < 1.25
+            bit_gen = self.rng.bit_generator
+            seed_seq = getattr(bit_gen, "seed_seq", None) or bit_gen._seed_seq
+            out.rng = np.random.Generator(type(bit_gen)(seed_seq.spawn(1)[0]))
         return out
 
     # ------------------------------------------------------------------
@@ -291,12 +303,12 @@ class BatchedStabilizerState:
             mat[:, a >> 6] ^= diff << np.uint64(a & 63)
             mat[:, b >> 6] ^= diff << np.uint64(b & 63)
 
-    def apply_gate(self, gate) -> None:
+    def apply_gate(self, gate: "Gate") -> None:
         """Apply one circuit gate uniformly (same contract as
         :meth:`StabilizerState.apply_gate`)."""
         _dispatch_gate(self, gate)
 
-    def apply_circuit(self, circuit) -> "BatchedStabilizerState":
+    def apply_circuit(self, circuit: "Circuit") -> "BatchedStabilizerState":
         """Apply every gate of a (Clifford) circuit; returns ``self``."""
         for gate in circuit:
             _dispatch_gate(self, gate)

@@ -8,7 +8,7 @@ the value of qubit ``q``.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -121,7 +121,9 @@ def gate_matrix(gate: Gate) -> np.ndarray:
 class Statevector:
     """A mutable dense state over *num_qubits* little-endian qubits."""
 
-    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None):
+    def __init__(
+        self, num_qubits: int, data: Optional[np.ndarray] = None
+    ) -> None:
         self.num_qubits = num_qubits
         if data is None:
             self.data = np.zeros(2**num_qubits, dtype=complex)
@@ -136,7 +138,7 @@ class Statevector:
         """Independent deep copy (amplitudes are duplicated)."""
         return Statevector(self.num_qubits, self.data)
 
-    def apply_matrix(self, matrix: np.ndarray, qubits) -> None:
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
         """Apply *matrix* to the listed qubits (slot order = list order)."""
         k = len(qubits)
         n = self.num_qubits

@@ -1,0 +1,265 @@
+"""PatternLinter: clean artifacts pass, seeded defects produce the
+pinned codes, reports render usefully."""
+
+import dataclasses
+import math
+
+import networkx as nx
+import pytest
+
+from repro.analysis.lint import (
+    PatternLinter,
+    lint_compiled_program,
+    lint_frame_program,
+    lint_pattern,
+)
+from repro.circuit.benchmarks import get_benchmark
+from repro.mbqc.pattern import MeasurementPattern
+from repro.mbqc.translate import circuit_to_pattern
+
+
+def _line_pattern():
+    """1-2-3 path: measure 1 then 2, output 3 (textbook causal flow)."""
+    graph = nx.Graph([(1, 2), (2, 3)])
+    return MeasurementPattern(
+        graph=graph,
+        inputs=(1,),
+        outputs=(3,),
+        angles={1: 0.0, 2: 0.0},
+        x_deps={2: frozenset({1})},
+        output_x={3: frozenset({2})},
+        output_z={3: frozenset({1})},
+        sequence=(1, 2),
+    )
+
+
+class TestPatternLint:
+    def test_clean_line_pattern(self):
+        report = lint_pattern(_line_pattern(), name="line")
+        assert report.ok, report.render()
+        assert report.certificate is not None and report.certificate.ok
+        assert "line: clean" in report.summary()
+
+    @pytest.mark.parametrize(
+        "name,qubits", [("QFT", 8), ("QAOA", 8), ("BV", 16)]
+    )
+    def test_benchmark_patterns_lint_clean(self, name, qubits):
+        pattern = circuit_to_pattern(get_benchmark(name, qubits, seed=7))
+        report = lint_pattern(pattern, name=f"{name}-{qubits}")
+        assert report.ok, report.render()
+
+    def test_missing_basis(self):
+        bad = _line_pattern()
+        del bad.angles[2]
+        report = lint_pattern(bad)
+        assert "P001" in report.codes() and not report.ok
+
+    def test_output_measured(self):
+        bad = _line_pattern()
+        bad.angles[3] = 0.0
+        assert "P002" in lint_pattern(bad).codes()
+
+    def test_unknown_dependency_node(self):
+        bad = _line_pattern()
+        bad.x_deps[2] = frozenset({99})
+        assert "P003" in lint_pattern(bad).codes()
+
+    def test_unmeasured_source(self):
+        bad = _line_pattern()
+        bad.x_deps[2] = frozenset({3})  # 3 is an output, never measured
+        assert "P004" in lint_pattern(bad).codes()
+
+    def test_forward_reference(self):
+        bad = _line_pattern()
+        bad.sequence = (2, 1)  # 2 depends on 1 but is measured first
+        assert "P005" in lint_pattern(bad).codes()
+
+    def test_dependency_cycle(self):
+        bad = _line_pattern()
+        bad.x_deps[1] = frozenset({2})  # closes 1 -> 2 -> 1
+        report = lint_pattern(bad)
+        assert "P006" in report.codes()
+        [cycle_issue] = [i for i in report.issues if i.code == "P006"]
+        assert "->" in cycle_issue.message
+
+    def test_sequence_mismatch(self):
+        bad = _line_pattern()
+        bad.sequence = (1,)
+        assert "P007" in lint_pattern(bad).codes()
+
+    def test_non_finite_angle(self):
+        bad = _line_pattern()
+        bad.angles[1] = math.nan
+        assert "P008" in lint_pattern(bad).codes()
+
+    def test_self_dependency(self):
+        bad = _line_pattern()
+        bad.z_deps[2] = frozenset({2})
+        assert "P009" in lint_pattern(bad).codes()
+
+    def test_self_loop_edge(self):
+        bad = _line_pattern()
+        bad.graph.add_edge(2, 2)
+        assert "P011" in lint_pattern(bad).codes()
+
+    def test_no_determinism_counterexample(self):
+        # 6-cycle alternating measured/output: no flow, no gflow
+        graph = nx.Graph(
+            [(1, 4), (3, 4), (3, 6), (2, 6), (2, 5), (1, 5)]
+        )
+        pattern = MeasurementPattern(
+            graph=graph,
+            inputs=(1, 2, 3),
+            outputs=(4, 5, 6),
+            angles={1: 0.3, 2: 0.3, 3: 0.3},
+        )
+        report = lint_pattern(pattern)
+        assert "F001" in report.codes() and not report.ok
+        [issue] = [i for i in report.issues if i.code == "F001"]
+        assert issue.where == 1  # smallest stalled vertex
+
+    def test_dropped_correction_is_flagged(self):
+        bad = _line_pattern()
+        bad.x_deps[2] = frozenset()
+        report = lint_pattern(bad)
+        assert "F002" in report.codes()
+
+    def test_dropped_byproduct_is_flagged(self):
+        bad = _line_pattern()
+        bad.output_z[3] = frozenset()
+        assert "F004" in lint_pattern(bad).codes()
+
+    def test_certify_off_skips_flow_search(self):
+        linter = PatternLinter(certify=False)
+        report = linter.lint_pattern(_line_pattern())
+        assert report.ok and report.certificate is None
+
+    def test_issue_render_contains_code_and_location(self):
+        bad = _line_pattern()
+        del bad.angles[2]
+        report = lint_pattern(bad, name="broken")
+        text = report.render()
+        assert "broken" in text and "P001" in text and "@ 2" in text
+
+
+class TestFrameProgramLint:
+    @pytest.fixture()
+    def compiled(self):
+        from repro.sim.frame import FrameProgram
+        from repro.sim.stabilizer import StabilizerState
+
+        circuit = get_benchmark("BV", 8, seed=7)
+        pattern = circuit_to_pattern(circuit)
+        state = StabilizerState(circuit.num_qubits)
+        state.apply_circuit(circuit)
+        _, index = StabilizerState.graph_state(
+            pattern.graph, zero_nodes=pattern.inputs
+        )
+        program = FrameProgram.compile(
+            pattern, state.stabilizer_rows(), index
+        )
+        return pattern, program
+
+    def test_clean_frame_program(self, compiled):
+        pattern, program = compiled
+        report = lint_frame_program(program, pattern)
+        assert report.ok, report.render()
+
+    def test_flipped_basis(self, compiled):
+        pattern, program = compiled
+        steps = list(program.steps)
+        steps[0] = dataclasses.replace(steps[0], y_basis=not steps[0].y_basis)
+        bad = dataclasses.replace(program, steps=tuple(steps))
+        assert "R003" in lint_frame_program(bad, pattern).codes()
+
+    def test_forward_reference(self, compiled):
+        pattern, program = compiled
+        steps = list(program.steps)
+        steps[0] = dataclasses.replace(steps[0], z_deps=(0,))
+        bad = dataclasses.replace(program, steps=tuple(steps))
+        assert "R002" in lint_frame_program(bad, pattern).codes()
+
+    def test_missing_step(self, compiled):
+        pattern, program = compiled
+        bad = dataclasses.replace(program, steps=program.steps[:-1])
+        assert "R001" in lint_frame_program(bad, pattern).codes()
+
+    def test_dropped_parity_check(self, compiled):
+        pattern, program = compiled
+        bad = dataclasses.replace(program, checks=program.checks[:-1])
+        assert "R006" in lint_frame_program(bad, pattern).codes()
+
+    def test_check_out_of_range(self, compiled):
+        pattern, program = compiled
+        checks = list(program.checks)
+        checks[0] = dataclasses.replace(
+            checks[0], frame_x=(program.num_qubits,)
+        )
+        bad = dataclasses.replace(program, checks=tuple(checks))
+        assert "R007" in lint_frame_program(bad, pattern).codes()
+
+
+class TestCompiledProgramLint:
+    @pytest.fixture()
+    def compiled(self):
+        from repro.core.compiler import OneQCompiler, OneQConfig
+        from repro.eval.experiments import _hardware_for
+        from repro.hardware.resource_state import get_resource_state
+
+        hardware = _hardware_for(8, get_resource_state("3-line"))
+        program = OneQCompiler(OneQConfig(hardware=hardware)).compile(
+            get_benchmark("BV", 8, seed=7), name="BV-8"
+        )
+        return program, hardware
+
+    def test_clean_program(self, compiled):
+        program, hardware = compiled
+        report = lint_compiled_program(program, hardware)
+        assert report.ok, report.render()
+        assert report.artifact == "BV-8"
+
+    def test_photon_deficit(self, compiled):
+        program, hardware = compiled
+        bad = dataclasses.replace(program, photon_deficit=3)
+        assert "B001" in lint_compiled_program(bad, hardware).codes()
+
+    def test_budget_reconciliation(self, compiled):
+        program, hardware = compiled
+        bad = dataclasses.replace(
+            program, resource_states_used=program.resource_states_used + 1
+        )
+        assert "B002" in lint_compiled_program(bad, hardware).codes()
+
+    def test_layer_count_mismatch(self, compiled):
+        program, hardware = compiled
+        bad = dataclasses.replace(
+            program, mapping_layers=program.mapping_layers + 1
+        )
+        codes = lint_compiled_program(bad, hardware).codes()
+        assert "B004" in codes
+
+
+class TestCompilerLintStage:
+    def test_lint_flag_records_stage_and_passes(self):
+        from repro.core.compiler import OneQCompiler, OneQConfig
+        from repro.eval.experiments import _hardware_for
+        from repro.hardware.resource_state import get_resource_state
+
+        hardware = _hardware_for(8, get_resource_state("3-line"))
+        program = OneQCompiler(
+            OneQConfig(hardware=hardware, lint=True)
+        ).compile(get_benchmark("BV", 8, seed=7), name="BV-8")
+        assert "lint" in program.stage_seconds
+
+    def test_lint_flag_aborts_on_broken_pattern(self):
+        from repro.core.compiler import OneQCompiler, OneQConfig
+        from repro.core.validate import ValidationError
+        from repro.eval.experiments import _hardware_for
+        from repro.hardware.resource_state import get_resource_state
+
+        pattern = circuit_to_pattern(get_benchmark("BV", 8, seed=7))
+        del pattern.angles[next(iter(pattern.angles))]
+        hardware = _hardware_for(8, get_resource_state("3-line"))
+        compiler = OneQCompiler(OneQConfig(hardware=hardware, lint=True))
+        with pytest.raises(ValidationError, match="static lint"):
+            compiler.compile_pattern(pattern, name="broken")

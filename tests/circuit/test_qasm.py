@@ -5,9 +5,17 @@ import math
 import pytest
 
 from repro.circuit import Circuit, get_benchmark, to_jcz
+from repro.circuit.gates import GATE_SIGNATURES, Gate
 from repro.circuit.qasm import from_qasm, to_qasm
 from repro.sim.statevector import circuit_unitary, unitaries_equal_up_to_phase
 from tests.conftest import random_circuit
+
+
+def _library_gate(name: str) -> Gate:
+    """One concrete instance of every gate in the library."""
+    arity, num_params = GATE_SIGNATURES[name]
+    params = tuple(0.3 + 0.1 * k for k in range(num_params))
+    return Gate(name, tuple(range(arity)), params)
 
 
 class TestExport:
@@ -101,6 +109,56 @@ class TestImport:
         assert unitaries_equal_up_to_phase(
             circuit_unitary(c), circuit_unitary(back)
         )
+
+    @pytest.mark.parametrize("name", sorted(GATE_SIGNATURES))
+    def test_roundtrip_every_library_gate(self, name):
+        """import(export(c)) == c for each gate of the library.
+
+        ``j`` is the one lossy case — it exports as its ``rz``+``h``
+        definition (OpenQASM 2.0 has no J) — so for it we assert
+        semantic equality instead of gate-list equality.
+        """
+        gate = _library_gate(name)
+        c = Circuit(max(gate.qubits) + 1).append(gate)
+        back = from_qasm(to_qasm(c))
+        if name == "j":
+            assert [g.name for g in back] == ["rz", "h"]
+            assert unitaries_equal_up_to_phase(
+                circuit_unitary(c), circuit_unitary(back)
+            )
+        else:
+            assert back == c
+
+    @pytest.mark.parametrize("name", sorted(GATE_SIGNATURES))
+    def test_reexport_is_stable(self, name):
+        """export(import(export(c))) is byte-identical — aliasing such
+        as p->u1->p and i->id->i reaches a fixed point after one trip."""
+        gate = _library_gate(name)
+        c = Circuit(max(gate.qubits) + 1).append(gate)
+        text = to_qasm(c)
+        assert to_qasm(from_qasm(text)) == text
+
+    def test_full_library_in_one_circuit(self):
+        """All 20 library gates round-trip together in one program."""
+        c = Circuit(3)
+        for name in sorted(GATE_SIGNATURES):
+            c.append(_library_gate(name))
+        back = from_qasm(to_qasm(c))
+        expected = [g for g in c if g.name != "j"]
+        got = [g for g in back if g.name not in ("rz", "h")]
+        # non-j gates survive verbatim, in order, interleaved with the
+        # rz/h pairs the j expansion leaves behind
+        rz_h = [g.name for g in back if g.name in ("rz", "h")]
+        assert got == [g for g in expected if g.name not in ("rz", "h")]
+        assert rz_h.count("rz") >= 1 and rz_h.count("h") >= 1
+
+    def test_p_u1_aliasing_both_directions(self):
+        """The PR-1 aliasing: ``p`` exports as ``u1``; importing either
+        spelling yields the same ``p`` gate."""
+        via_u1 = from_qasm("OPENQASM 2.0;\nqreg q[1];\nu1(0.4) q[0];\n")
+        exported = to_qasm(via_u1)
+        assert "u1(0.4) q[0];" in exported
+        assert via_u1.gates[0] == Gate("p", (0,), (0.4,))
 
     def test_missing_qreg_rejected(self):
         with pytest.raises(ValueError, match="qreg"):

@@ -7,6 +7,7 @@ import pytest
 
 from repro.eval.batch import (
     RUN_TABLE_COLUMNS,
+    SCHEMA_VERSION,
     BatchRunner,
     RunSpec,
     execute_spec,
@@ -332,7 +333,7 @@ class TestNoiseSweep:
         sweep_path = tmp_path / "BENCH_test_sweep.json"
         assert sweep_path.exists()
         payload = json.loads(sweep_path.read_text())
-        assert payload["schema_version"] == 5
+        assert payload["schema_version"] == SCHEMA_VERSION
         assert len(payload["runs"]) == 2
         for entry in payload["runs"].values():
             assert 0.0 <= entry["yield_mc"] <= 1.0
@@ -341,7 +342,8 @@ class TestNoiseSweep:
             assert entry["shots_per_second"] > 0.0
 
     def test_committed_artifact_is_current_schema(self):
-        """benchmarks/BENCH_noise_sweep.json must track schema v5."""
+        """benchmarks/BENCH_noise_sweep.json must track the current
+        schema."""
         import pathlib
 
         path = (
@@ -350,7 +352,7 @@ class TestNoiseSweep:
             / "BENCH_noise_sweep.json"
         )
         payload = json.loads(path.read_text())
-        assert payload["schema_version"] == 5
+        assert payload["schema_version"] == SCHEMA_VERSION
         assert payload["runs"]
         bv_rows = [
             entry
