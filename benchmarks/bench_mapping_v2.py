@@ -1,0 +1,322 @@
+#!/usr/bin/env python
+"""Packed compile-path benchmark: bit-packed mapper/shuffler vs baselines.
+
+Workload (the compile pipeline's hot half): translate + schedule +
+partition a benchmark circuit once, build every partition's fusion graph
+once, then run in-layer mapping and inter-layer shuffling over those
+shared inputs on three implementations:
+
+* **packed** — the live bit-packed path (``repro.core.mapping`` /
+  ``repro.core.shuffling``);
+* **reference** — the frozen scalar predecessors
+  (``tests/core/reference_mapping.py`` / ``reference_shuffling.py``),
+  semantically identical to the packed path.  Placements, layer
+  occupancy, fusion tallies and shuffle paths must match **bit for
+  bit**;
+* **seed** — the repo's v0 mapper/shuffler
+  (``tests/core/seed_mapping.py`` / ``seed_shuffling.py``), the same
+  role the seed CHP engine plays for ``bench_stabilizer.py``.  The seed
+  predates several semantic fixes, so only its wall clock is recorded —
+  the **speedup gate compares packed against seed**, while correctness
+  is pinned against the reference.
+
+Timed sections take the minimum over ``--repeats`` passes for the
+packed and reference paths (the seed is slow enough that one pass
+averages out scheduler noise).
+
+The ``--full`` stage additionally compiles QFT-100 end-to-end through
+:class:`repro.core.compiler.OneQCompiler` (packed path only — the
+scalar paths never saw 100-qubit inputs in CI) and gates its wall
+clock.
+
+Run:  PYTHONPATH=src python benchmarks/bench_mapping_v2.py
+
+Writes ``benchmarks/BENCH_mapping_v2.json`` and exits non-zero when the
+packed outputs diverge from the reference, the QFT-36 mapping+shuffling
+speedup over the seed drops below the 5x gate, or the QFT-100 compile
+exceeds the wall-clock budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+for entry in (str(_ROOT / "src"), str(_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.circuit.benchmarks import get_benchmark  # noqa: E402
+from repro.core import mapping as packed_mapping  # noqa: E402
+from repro.core import shuffling as packed_shuffling  # noqa: E402
+from repro.core.compiler import OneQCompiler, OneQConfig  # noqa: E402
+from repro.core.fusion_graph import build_fusion_graph  # noqa: E402
+from repro.core.partition import (  # noqa: E402
+    PartitionConfig,
+    partition_pattern,
+    required_degrees,
+    schedule_layers,
+)
+from repro.eval.experiments import _hardware_for  # noqa: E402
+from repro.hardware.resource_state import THREE_LINE  # noqa: E402
+from repro.mbqc.translate import circuit_to_pattern  # noqa: E402
+from tests.core import reference_mapping  # noqa: E402
+from tests.core import reference_shuffling  # noqa: E402
+from tests.core import seed_mapping  # noqa: E402
+from tests.core import seed_shuffling  # noqa: E402
+
+SPEEDUP_GATE = 5.0
+QFT100_BUDGET_SECONDS = 60.0
+
+
+def build_inputs(name: str, qubits: int):
+    """Shared front half of the compile: pattern through fusion graphs."""
+    circuit = get_benchmark(name, qubits)
+    hardware = _hardware_for(qubits, THREE_LINE)
+    pattern = circuit_to_pattern(circuit)
+    rst = hardware.resource_state
+    rows, cols = hardware.extended_shape
+    part_cfg = PartitionConfig(target_states=max(4, int(0.7 * rows * cols)))
+    layers = schedule_layers(pattern, part_cfg)
+    estimator = lambda node: rst.states_for_degree(  # noqa: E731
+        pattern.graph.degree(node)
+    )
+    partitions = partition_pattern(
+        pattern, part_cfg, size_estimator=estimator, layers=layers
+    )
+    home = {}
+    for part in partitions:
+        for node in part.nodes:
+            home[node] = part.index
+    port_of = {}
+    fusion_graphs = []
+    for part in partitions:
+        cross_nbrs = {
+            node: [
+                nbr
+                for nbr in pattern.graph.neighbors(node)
+                if home[nbr] != part.index
+            ]
+            for node in part.nodes
+        }
+        degrees = required_degrees(part, pattern.graph)
+        fusion = build_fusion_graph(
+            part.subgraph, degrees, rst, cross_neighbors=cross_nbrs
+        )
+        fusion_graphs.append(fusion)
+        port_of.update(fusion.port_of)
+    return hardware, partitions, fusion_graphs, port_of
+
+
+def run_pipeline(mapping_mod, shuffling_mod, hardware, partitions,
+                 fusion_graphs, port_of):
+    """Map + shuffle on prebuilt fusion graphs (the compiler's walk)."""
+    shape = hardware.extended_shape
+    mapper = mapping_mod.InLayerMapper(
+        shape=shape, resource_state=hardware.resource_state
+    )
+    deferred = []
+    tally = {"synthesis": 0, "edge": 0, "routing": 0}
+    t0 = time.perf_counter()
+    for part, fusion in zip(partitions, fusion_graphs):
+        hints = {}
+        for u, v in part.back_edges:
+            src_port = port_of.get((u, v))
+            dst_port = fusion.port_of.get((v, u))
+            if src_port is None or dst_port is None:
+                continue
+            placed = mapper.placements.get(src_port)
+            if placed is not None:
+                hints[dst_port] = placed.coord
+        result = mapper.map_fusion_graph(fusion, hints=hints)
+        tally["synthesis"] += result.synthesis_fusions
+        tally["edge"] += result.edge_fusions
+        tally["routing"] += result.routing_fusions
+        deferred.extend(result.deferred_edges)
+    map_seconds = time.perf_counter() - t0
+
+    pairs_by_boundary = {}
+
+    def add_pair(pa, pb):
+        boundary = max(pa.layer, pb.layer)
+        pairs_by_boundary.setdefault(boundary, []).append((pa.coord, pb.coord))
+
+    for a, b in deferred:
+        add_pair(mapper.placements[a], mapper.placements[b])
+    for part in partitions:
+        for u, v in part.back_edges:
+            pu, pv = port_of.get((u, v)), port_of.get((v, u))
+            if pu is None or pv is None:
+                raise RuntimeError(f"missing port for cross edge {(u, v)}")
+            add_pair(mapper.placements[pu], mapper.placements[pv])
+
+    t0 = time.perf_counter()
+    shuffle_fusions = 0
+    shuffle_paths = []
+    for boundary in sorted(pairs_by_boundary):
+        result = shuffling_mod.connect_pairs(pairs_by_boundary[boundary],
+                                             shape)
+        shuffle_fusions += result.fusions
+        for layer in result.layers:
+            shuffle_paths.append(sorted(map(tuple, layer.paths)))
+    shuffle_seconds = time.perf_counter() - t0
+
+    return {
+        "map_seconds": map_seconds,
+        "shuffle_seconds": shuffle_seconds,
+        "placements": {
+            node: (place.layer, place.coord)
+            for node, place in mapper.placements.items()
+        },
+        "layers": [
+            (sorted(layer.node_at.items()), sorted(layer.aux_cells),
+             sorted(map(tuple, layer.paths)), sorted(layer.incomplete))
+            for layer in mapper.layers
+        ],
+        "tally": tally,
+        "shuffle_fusions": shuffle_fusions,
+        "shuffle_paths": shuffle_paths,
+    }
+
+
+def _best_of(mapping_mod, shuffling_mod, inputs, repeats):
+    """Repeat the pipeline, keeping the fastest timings (last outputs)."""
+    best_map = best_shuffle = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        result = run_pipeline(mapping_mod, shuffling_mod, *inputs)
+        best_map = min(best_map, result["map_seconds"])
+        best_shuffle = min(best_shuffle, result["shuffle_seconds"])
+    result["map_seconds"] = best_map
+    result["shuffle_seconds"] = best_shuffle
+    return result
+
+
+def compare_case(name: str, qubits: int, repeats: int = 3):
+    """One benchmark: packed vs reference (identity) and seed (speed)."""
+    inputs = build_inputs(name, qubits)
+    packed = _best_of(packed_mapping, packed_shuffling, inputs, repeats)
+    ref = _best_of(reference_mapping, reference_shuffling, inputs, repeats)
+    seed = run_pipeline(seed_mapping, seed_shuffling, *inputs)
+    identical = all(
+        ref[key] == packed[key]
+        for key in ("placements", "layers", "tally", "shuffle_fusions",
+                    "shuffle_paths")
+    )
+    packed_total = packed["map_seconds"] + packed["shuffle_seconds"]
+    ref_total = ref["map_seconds"] + ref["shuffle_seconds"]
+    seed_total = seed["map_seconds"] + seed["shuffle_seconds"]
+    partitions = inputs[1]
+    return {
+        "benchmark": name,
+        "num_qubits": qubits,
+        "identical": identical,
+        "seed_map_seconds": round(seed["map_seconds"], 4),
+        "seed_shuffle_seconds": round(seed["shuffle_seconds"], 4),
+        "reference_map_seconds": round(ref["map_seconds"], 4),
+        "reference_shuffle_seconds": round(ref["shuffle_seconds"], 4),
+        "packed_map_seconds": round(packed["map_seconds"], 4),
+        "packed_shuffle_seconds": round(packed["shuffle_seconds"], 4),
+        "speedup_vs_seed": round(seed_total / max(packed_total, 1e-12), 2),
+        "speedup_vs_reference": round(ref_total / max(packed_total, 1e-12), 2),
+        "num_partitions": len(partitions),
+        "placements": len(ref["placements"]),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--cases", nargs="+", default=["QFT:36", "QFT:100"],
+        help="benchmark:qubits pairs for the equivalence+speedup stage",
+    )
+    parser.add_argument(
+        "--gate-case", default="QFT:36",
+        help="case whose mapping+shuffling speedup the gate applies to",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed passes per packed/reference measurement (min is kept)",
+    )
+    parser.add_argument(
+        "--skip-full", action="store_true",
+        help="skip the QFT-100 end-to-end compile budget stage",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(pathlib.Path(__file__).parent / "BENCH_mapping_v2.json"),
+    )
+    args = parser.parse_args(argv)
+
+    cases = []
+    for case in args.cases:
+        name, _, qubits = case.partition(":")
+        print(f"== {name}-{qubits}: packed vs reference/seed map+shuffle ==")
+        row = compare_case(name, int(qubits), repeats=args.repeats)
+        cases.append(row)
+        print(json.dumps(row, indent=1))
+
+    full = None
+    if not args.skip_full:
+        print("== QFT-100 end-to-end compile (packed path) ==")
+        circuit = get_benchmark("QFT", 100)
+        hardware = _hardware_for(100, THREE_LINE)
+        compiler = OneQCompiler(OneQConfig(hardware=hardware))
+        t0 = time.perf_counter()
+        program = compiler.compile(circuit, name="QFT100")
+        seconds = time.perf_counter() - t0
+        full = {
+            "benchmark": "QFT",
+            "num_qubits": 100,
+            "seconds": round(seconds, 3),
+            "budget_seconds": QFT100_BUDGET_SECONDS,
+            "depth": program.physical_depth,
+            "num_fusions": program.num_fusions,
+            "stage_seconds": {
+                key: round(value, 4)
+                for key, value in program.stage_seconds.items()
+            },
+        }
+        print(json.dumps(full, indent=1))
+
+    gate_rows = [
+        row for row in cases
+        if f"{row['benchmark']}:{row['num_qubits']}" == args.gate_case
+    ]
+    ok = all(row["identical"] for row in cases)
+    gate_speedup = gate_rows[0]["speedup_vs_seed"] if gate_rows else None
+    if gate_rows and gate_speedup < SPEEDUP_GATE:
+        ok = False
+    if full is not None and full["seconds"] > QFT100_BUDGET_SECONDS:
+        ok = False
+
+    payload = {
+        "label": "mapping_v2",
+        "gate": {
+            "speedup_case": args.gate_case,
+            "speedup_min": SPEEDUP_GATE,
+            "speedup_baseline": "seed",
+            "speedup": gate_speedup,
+            "qft100_budget_seconds": QFT100_BUDGET_SECONDS,
+        },
+        "cases": cases,
+        "full_compile": full,
+        "ok": ok,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {out}")
+    if not ok:
+        print("FAIL: equivalence or speedup gate not met", file=sys.stderr)
+        return 1
+    print(f"OK: {args.gate_case} map+shuffle speedup over seed "
+          f"{gate_speedup}x >= {SPEEDUP_GATE}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

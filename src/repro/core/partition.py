@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
-from repro.core.planarity import is_planar
+from repro.core.planarity import IncrementalPlanarityProber
 from repro.mbqc.flow import dependency_layers, rank_layers
 from repro.mbqc.pattern import MeasurementPattern
 
@@ -146,6 +146,8 @@ def partition_pattern(
         )
         current_nodes = []
         current_layers = []
+        if prober is not None:
+            prober.reset()
 
     current_states = 0
     # Planarity is monotone while a partition grows: every candidate is
@@ -163,12 +165,12 @@ def partition_pattern(
     planar_horizon = -1  # candidates through this layer are known planar
     known_fail_at = -1  # first non-planar layer found by a probe
     num_layers = len(layers)
-
-    def candidate_nodes(start: int, end: int) -> List[int]:
-        nodes = list(current_nodes)
-        for j in range(start, end + 1):
-            nodes.extend(layers[j])
-        return nodes
+    # Probes run on a persistent concrete graph of the accepted nodes,
+    # pushing and popping only the window layers, so each probe costs
+    # O(window + check) instead of rebuilding the candidate subgraph.
+    prober = (
+        IncrementalPlanarityProber(graph) if config.enforce_planarity else None
+    )
 
     for layer_idx, layer in enumerate(layers):
         layer_states = states_per_layer[layer_idx]
@@ -209,15 +211,14 @@ def partition_pattern(
                     states += states_per_layer[j]
                     run_len += 1
                     j += 1
-                if is_planar(graph.subgraph(candidate_nodes(layer_idx, cap_end))):
+                assert prober is not None
+                if prober.probe(layers[layer_idx : cap_end + 1]):
                     planar_horizon = cap_end
                 else:
                     lo, hi = layer_idx, cap_end
                     while lo < hi:
                         mid = (lo + hi) // 2
-                        if is_planar(
-                            graph.subgraph(candidate_nodes(layer_idx, mid))
-                        ):
+                        if prober.probe(layers[layer_idx : mid + 1]):
                             lo = mid + 1
                         else:
                             hi = mid
@@ -232,6 +233,8 @@ def partition_pattern(
         current_nodes.extend(layer)
         current_layers.append(layer_idx)
         current_states += layer_states
+        if prober is not None:
+            prober.extend(layer)
     close_partition()
     return partitions
 

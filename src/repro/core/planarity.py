@@ -21,6 +21,65 @@ def is_planar(graph: nx.Graph) -> bool:
     return bool(ok)
 
 
+class IncrementalPlanarityProber:
+    """Windowed planarity probes over a growing induced subgraph.
+
+    :func:`repro.core.partition.partition_pattern` repeatedly tests
+    whether the induced subgraph on ``accepted nodes + a window of
+    candidate layers`` is planar.  Rebuilding that subgraph from scratch
+    costs O(partition + window) per probe; this prober keeps a
+    persistent concrete graph of the accepted nodes and only pushes and
+    pops the window, making each probe O(window + check).
+
+    Only the planarity *verdict* is reused — embeddings are
+    insertion-order-sensitive, so callers that need the rotational edge
+    order still call :func:`planar_embedding_order` on a freshly built
+    subgraph.
+    """
+
+    def __init__(self, source: nx.Graph) -> None:
+        self._source = source
+        self._graph: nx.Graph = nx.Graph()
+
+    def reset(self) -> None:
+        """Forget all accepted nodes (a partition closed)."""
+        self._graph = nx.Graph()
+
+    def _push(self, nodes: List[Hashable]) -> List[Hashable]:
+        graph = self._graph
+        source = self._source
+        added: List[Hashable] = []
+        for node in nodes:
+            if graph.has_node(node):
+                continue
+            graph.add_node(node)
+            added.append(node)
+            for nbr in source.neighbors(node):
+                if graph.has_node(nbr):
+                    graph.add_edge(node, nbr)
+        return added
+
+    def extend(self, nodes: List[Hashable]) -> None:
+        """Permanently accept *nodes* (a layer joined the partition)."""
+        self._push(nodes)
+
+    def probe(self, window_layers: List[List[Hashable]]) -> bool:
+        """Is ``accepted + window`` planar as an induced subgraph?"""
+        added: List[Hashable] = []
+        for layer in window_layers:
+            added.extend(self._push(layer))
+        try:
+            graph = self._graph
+            v = graph.number_of_nodes()
+            # Euler bound: a planar simple graph has at most 3V - 6 edges
+            if v >= 3 and graph.number_of_edges() > 3 * v - 6:
+                return False
+            ok, _ = nx.check_planarity(graph, counterexample=False)
+            return bool(ok)
+        finally:
+            self._graph.remove_nodes_from(added)
+
+
 def planar_embedding_order(
     graph: nx.Graph,
 ) -> Optional[Dict[Hashable, List[Hashable]]]:

@@ -28,7 +28,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: Run-table columns, in on-disk CSV order.  Meanings:
 #:   key                 content hash of the spec (cache identity)
@@ -45,6 +45,10 @@ SCHEMA_VERSION = 6
 #:   seconds   OneQ compile wall time;  baseline_seconds   baseline time
 #:   translate/schedule/partition/map/shuffle_seconds   per-stage compile
 #:       breakdown (``bench --profile`` renders these)
+#:   map_score/map_route/map_place_seconds   mapper sub-stages (v7):
+#:       candidate scoring, path routing, and cell placement inside the
+#:       map stage; their sum is below map_seconds, whose remainder is
+#:       fusion-graph synthesis and edge-order bookkeeping
 #:   verified/verify_method/verify_seconds   semantic verification stage
 #:       (``verify=True`` specs): did the compiled pattern implement the
 #:       circuit, which engine checked it (stabilizer for Clifford
@@ -105,6 +109,9 @@ RUN_TABLE_COLUMNS: List[str] = [
     "schedule_seconds",
     "partition_seconds",
     "map_seconds",
+    "map_score_seconds",
+    "map_route_seconds",
+    "map_place_seconds",
     "shuffle_seconds",
     "verified",
     "verify_method",
@@ -124,7 +131,8 @@ RUN_TABLE_COLUMNS: List[str] = [
 #: compile stages reported by ``CompiledProgram.stage_seconds``, in
 #: pipeline order (the ``verify`` stage is appended by ``execute_spec``)
 PROFILE_STAGES: Tuple[str, ...] = (
-    "translate", "schedule", "partition", "map", "shuffle",
+    "translate", "schedule", "partition", "map",
+    "map_score", "map_route", "map_place", "shuffle",
 )
 
 
@@ -216,6 +224,9 @@ class RunRecord:
     schedule_seconds: float = 0.0
     partition_seconds: float = 0.0
     map_seconds: float = 0.0
+    map_score_seconds: float = 0.0
+    map_route_seconds: float = 0.0
+    map_place_seconds: float = 0.0
     shuffle_seconds: float = 0.0
     verified: Optional[bool] = None
     verify_method: Optional[str] = None
@@ -366,6 +377,9 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         schedule_seconds=program.stage_seconds.get("schedule", 0.0),
         partition_seconds=program.stage_seconds.get("partition", 0.0),
         map_seconds=program.stage_seconds.get("map", 0.0),
+        map_score_seconds=program.stage_seconds.get("map_score", 0.0),
+        map_route_seconds=program.stage_seconds.get("map_route", 0.0),
+        map_place_seconds=program.stage_seconds.get("map_place", 0.0),
         shuffle_seconds=program.stage_seconds.get("shuffle", 0.0),
         verified=verified,
         verify_method=verify_method,

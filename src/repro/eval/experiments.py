@@ -23,14 +23,17 @@ from repro.hardware.resource_state import (
     ResourceStateType,
 )
 
-#: The paper's Table 1 / Table 2 benchmark grid.
+#: The paper's Table 1 / Table 2 benchmark grid, extended with the
+#: 100-qubit QFT/QAOA scaling rows the packed compile path makes cheap.
 TABLE_BENCHMARKS: List[Tuple[str, int]] = [
     ("QFT", 16),
     ("QFT", 25),
     ("QFT", 36),
+    ("QFT", 100),
     ("QAOA", 16),
     ("QAOA", 25),
     ("QAOA", 36),
+    ("QAOA", 100),
     ("RCA", 16),
     ("RCA", 25),
     ("RCA", 36),
@@ -121,8 +124,14 @@ def compare_one(
 def run_table1(
     benchmarks: Optional[Sequence[Tuple[str, int]]] = None,
 ) -> List[Tuple[str, BaselineAreas]]:
-    """Benchmark programs and their baseline areas (Table 1)."""
-    benchmarks = list(benchmarks or TABLE_BENCHMARKS)
+    """Benchmark programs and their baseline areas (Table 1).
+
+    Defaults to the paper's own rows: the compile grid's extra
+    100-qubit scaling rows have no Table-1 counterpart to compare
+    against.
+    """
+    if benchmarks is None:
+        benchmarks = [key for key in TABLE_BENCHMARKS if key in PAPER_TABLE2]
     return [
         (name, BaselineAreas.for_qubits(n)) for name, n in benchmarks
     ]

@@ -6,14 +6,20 @@ from repro.utils.angles import (
     is_pauli_angle,
     normalize_angle,
 )
+from repro.utils.bitgrid import BitGridSpec, expand, lexmin_path, nearest_free, spec_for
 from repro.utils.geometry import Rect, bounding_rect, manhattan
 
 __all__ = [
     "ANGLE_ATOL",
+    "BitGridSpec",
     "Rect",
     "bounding_rect",
+    "expand",
     "is_clifford_angle",
     "is_pauli_angle",
+    "lexmin_path",
     "manhattan",
+    "nearest_free",
     "normalize_angle",
+    "spec_for",
 ]

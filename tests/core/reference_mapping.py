@@ -1,5 +1,11 @@
 """Fusion mapping and routing (paper Sec. 6): in-layer heuristic search.
 
+FROZEN REFERENCE (do not edit): verbatim snapshot of the scalar
+implementation taken immediately before the bit-packed rewrite of the
+live module.  tests/core/test_mapping_equivalence_v2.py pins the packed
+path bit-identical to this code; benchmarks/bench_mapping_v2.py measures
+the speedup against it.
+
 Embeds the irregular fusion graph into the regular grid of one (possibly
 extended) physical layer after another.  Edges are traversed in
 cycle-prioritized BFS order; each edge is realized either by placing the
@@ -14,29 +20,18 @@ where a node is blocked when its remaining unmapped edges exceed its free
 adjacent cells.  Nodes whose edges cannot all be realized within a layer
 are *incomplete*; their leftover edges are handed to inter-layer
 shuffling (:mod:`repro.core.shuffling`).
-
-The hot path runs on bit-packed grid planes (:mod:`repro.utils.bitgrid`):
-layer occupancy, node cells, free-neighbour counts and per-cell remaining
-degrees are integer bitboards/flat planes, so candidate scoring is a
-handful of mask tests per cell and path search expands whole BFS
-frontiers per word op.  The packed path is pinned bit-identical to the
-frozen scalar reference (``tests/core/reference_mapping.py``) by
-``tests/core/test_mapping_equivalence_v2.py``: same placements, same
-routed paths, same metrics at a fixed seed.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from time import perf_counter
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple, Union
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 import networkx as nx
 
 from repro.core.fusion_graph import FGNode, FusionGraph
 from repro.hardware.resource_state import ResourceStateType
-from repro.utils.bitgrid import lexmin_path, nearest_free, spec_for
 from repro.utils.geometry import grid_neighbor_table
 
 Coord = Tuple[int, int]
@@ -103,23 +98,8 @@ class InLayerMapper:
         self.connect_radius = connect_radius
         self.layers: List[LayerLayout] = []
         self.placements: Dict[FGNode, Placement] = {}
-        #: wall seconds spent in candidate scoring / path search /
-        #: placement bookkeeping, accumulated across all partitions
-        #: (surfaced by the compiler as the ``map_score`` /
-        #: ``map_route`` / ``map_place`` sub-stages)
-        self.stage_seconds: Dict[str, float] = {
-            "score": 0.0, "route": 0.0, "place": 0.0,
-        }
         self._hints: Dict[FGNode, Coord] = {}
         self._nbr_table: Dict[Coord, List[Coord]] = grid_neighbor_table(shape)
-        self._spec = spec_for(shape)
-        # generation-stamped flat scratch planes for the routing BFS
-        # (reused across calls; a bumped generation invalidates them all
-        # without re-allocating)
-        self._bfs_gen = 0
-        self._bfs_seen: List[int] = [0] * self._spec.nbits
-        self._bfs_parent: List[int] = [0] * self._spec.nbits
-        self._bfs_depth: List[int] = [0] * self._spec.nbits
         self._reset_layer_state()
 
     # ------------------------------------------------------------------
@@ -131,13 +111,7 @@ class InLayerMapper:
         self._realized: Dict[FGNode, int] = {}
         self._rect: Optional[Tuple[int, int, int, int]] = None
         self._current: Optional[LayerLayout] = None
-        # packed layer planes: occupancy and node-cell bitboards, plus
-        # flat per-cell planes for free-neighbour counts and the
-        # remaining degree of the node occupying each cell
-        self._occ_bits: int = 0
-        self._node_bits: int = 0
-        self._fnc: List[int] = list(self._spec.free0)
-        self._rem_at: List[int] = [0] * self._spec.nbits
+        self._free_nbrs: Dict[Coord, int] = {}
 
     def _open_layer(self) -> LayerLayout:
         layout = LayerLayout(index=len(self.layers), shape=self.shape)
@@ -168,21 +142,26 @@ class InLayerMapper:
         return coord not in self._occupied
 
     def _free_neighbor_count(self, coord: Coord) -> int:
-        """Free neighbours of *coord*, read off the packed plane.
+        """Free neighbours of *coord*, cached incrementally.
 
-        Cells only ever become occupied within a layer, so the plane is
-        maintained by decrementing the four neighbours of every claimed
-        cell (:meth:`_place_node` / :meth:`_mark_aux`).
+        Cells only ever become occupied within a layer, so the cache is
+        maintained by decrement when a cell is claimed (:meth:`_on_occupy`).
         """
-        return self._fnc[coord[0] * self._spec.stride + coord[1]]
+        cached = self._free_nbrs.get(coord)
+        if cached is None:
+            occupied = self._occupied
+            cached = sum(
+                1 for p in self._nbr_table[coord] if p not in occupied
+            )
+            self._free_nbrs[coord] = cached
+        return cached
 
     def _on_occupy(self, coord: Coord) -> None:
-        """Subclass hook invoked after every cell claim.
-
-        The packed planes are maintained inline by the claim sites; the
-        frozen scalar reference subclasses override this hook to keep
-        their own caches consistent.
-        """
+        """Keep the free-neighbour cache consistent after claiming a cell."""
+        cache = self._free_nbrs
+        for p in self._nbr_table[coord]:
+            if p in cache:
+                cache[p] -= 1
 
     # ------------------------------------------------------------------
     # cost function H
@@ -239,18 +218,13 @@ class InLayerMapper:
         change blockage, so the score is the area term plus local
         blockage deltas; the constant global part cancels in comparisons.
         """
-        spec = self._spec
-        stride = spec.stride
-        bit = spec.bit
-        nbr_idx = spec.nbr_idx
-        nbr_mask = spec.nbr_mask
-        node_bits = self._node_bits
-        fnc = self._fnc
-        rem_at = self._rem_at
+        occupied = self._occupied
         remaining = self._remaining
-        alpha = self.alpha
+        nbr_table = self._nbr_table
+        placements = self.placements
+        current_layer = len(self.layers) - 1
         # single-cell candidates (direct adjacency) dominate: avoid the
-        # mask allocations and min/max calls of the generic path
+        # set allocations and min/max calls of the generic path
         single = new_cells[0] if len(new_cells) == 1 else None
         rect = self._rect
         if single is not None and rect is not None:
@@ -265,51 +239,53 @@ class InLayerMapper:
             elif c > y1:
                 y1 = c
             score = float((x1 - x0 + 1) * (y1 - y0 + 1))
+            occupied_extra: Optional[Set[Coord]] = None
         else:
+            occupied_extra = set(new_cells)
             score = float(self._rect_area_with(new_cells))
-        idxs = [r * stride + c for r, c in new_cells]
-        new_bits = 0
-        for i in idxs:
-            new_bits |= bit[i]
-        # Blockage terms accumulate in the scalar scorer's order — the
-        # affected placed nodes in first-encounter order over new cells x
-        # U, D, L, R neighbours, then the new node — so the float sum is
-        # bit-identical.  Each term is two plane reads and a popcount:
-        # free neighbours after the hypothetical claim is the maintained
-        # free count minus the claimed cells adjacent to the node.
-        seen = 0
-        for i in idxs:
-            for p_idx in nbr_idx[i]:
-                pb = bit[p_idx]
-                if not node_bits & pb or seen & pb:
-                    continue
-                seen |= pb
-                if remaining_after:
-                    node = self._occupied.get(spec.coord[p_idx])
-                    if node in remaining_after:
-                        rem = remaining_after[node]
-                    else:
-                        rem = rem_at[p_idx]
-                else:
-                    rem = rem_at[p_idx]
+        affected: Dict[FGNode, Coord] = {}
+        for cell in new_cells:
+            for p in nbr_table[cell]:
+                occ = occupied.get(p)
+                if isinstance(occ, tuple) and occ in remaining:
+                    place = placements.get(occ)
+                    if place is not None and place.layer == current_layer:
+                        affected[occ] = place.coord
+        # Hypothetically apply ``remaining_after`` (<= 2 keys) instead of
+        # copying the whole dict; restore the exact prior entries after.
+        missing = object()
+        saved = [(key, remaining.get(key, missing)) for key in remaining_after]
+        try:
+            remaining.update(remaining_after)
+            alpha = self.alpha
+            to_score = list(affected.items())
+            if new_node is not None and node_cell is not None:
+                to_score.append((new_node, node_cell))
+            for node, coord in to_score:
+                # inlined _blockage_score: this is the innermost loop of
+                # candidate scoring
+                rem = remaining.get(node, 0)
                 if rem <= 0:
                     continue
-                free = fnc[p_idx] - (nbr_mask[p_idx] & new_bits).bit_count()
+                free = 0
+                if single is not None:
+                    for p in nbr_table[coord]:
+                        if p not in occupied and p != single:
+                            free += 1
+                else:
+                    for p in nbr_table[coord]:
+                        if p not in occupied and p not in occupied_extra:
+                            free += 1
                 if free == 0:
                     score += alpha
                 elif rem > free:
                     score += 1.0
-        if new_node is not None and node_cell is not None:
-            rem = remaining_after.get(
-                new_node, remaining.get(new_node, 0)
-            )
-            if rem > 0:
-                i = node_cell[0] * stride + node_cell[1]
-                free = fnc[i] - (nbr_mask[i] & new_bits).bit_count()
-                if free == 0:
-                    score += alpha
-                elif rem > free:
-                    score += 1.0
+        finally:
+            for key, value in saved:
+                if value is missing:
+                    remaining.pop(key, None)
+                else:
+                    remaining[key] = value
         return score
 
     # ------------------------------------------------------------------
@@ -320,15 +296,6 @@ class InLayerMapper:
         if not self._free(coord):
             raise RuntimeError(f"cell {coord} already occupied")
         self._occupied[coord] = node
-        spec = self._spec
-        idx = coord[0] * spec.stride + coord[1]
-        claimed = spec.bit[idx]
-        self._occ_bits |= claimed
-        self._node_bits |= claimed
-        fnc = self._fnc
-        for ni in spec.nbr_idx[idx]:
-            fnc[ni] -= 1
-        self._rem_at[idx] = degree
         self._on_occupy(coord)
         self._current.node_at[coord] = node
         self.placements[node] = Placement(len(self.layers) - 1, coord)
@@ -347,14 +314,8 @@ class InLayerMapper:
 
     def _mark_aux(self, cells: List[Coord]) -> None:
         assert self._current is not None
-        spec = self._spec
-        fnc = self._fnc
         for cell in cells:
             self._occupied[cell] = "aux"
-            idx = cell[0] * spec.stride + cell[1]
-            self._occ_bits |= spec.bit[idx]
-            for ni in spec.nbr_idx[idx]:
-                fnc[ni] -= 1
             self._on_occupy(cell)
             self._current.aux_cells.add(cell)
             if self._rect is None:
@@ -371,11 +332,6 @@ class InLayerMapper:
     def _consume(self, node: FGNode, count: int = 1) -> None:
         self._remaining[node] = self._remaining.get(node, 0) - count
         self._realized[node] = self._realized.get(node, 0) + count
-        place = self.placements.get(node)
-        if place is not None and place.layer == len(self.layers) - 1:
-            # mirror the remaining degree onto the packed plane
-            r, c = place.coord
-            self._rem_at[r * self._spec.stride + c] -= count
 
     def _node_capacity_left(self, node: FGNode) -> int:
         """Photons left on the node's resource state for more fusions."""
@@ -390,41 +346,13 @@ class InLayerMapper:
         goal_test: Callable[[Coord, Coord], bool],
         max_len: Optional[int] = None,
         avoid: Optional[Set[Coord]] = None,
-        goal: Optional[Coord] = None,
     ) -> Optional[List[Coord]]:
         """Shortest path from *start* through free cells.
 
         ``start`` itself may be occupied (it is the source node's cell);
         every interior cell must be free.  Returns the full path including
         both endpoints, or None.
-
-        When the target is one known cell, callers pass it as ``goal``
-        and the search runs on the packed frontier kernel (which returns
-        the same lexicographically minimal path as the scalar FIFO BFS);
-        the ``goal_test`` form remains for subclasses and ad-hoc goals.
         """
-        if goal is not None:
-            spec = self._spec
-            stride = spec.stride
-            if avoid:
-                if goal in avoid:
-                    return None
-                free = spec.full & ~self._occ_bits
-                for (r, c) in avoid:
-                    free &= ~spec.bit[r * stride + c]
-            else:
-                free = spec.full & ~self._occ_bits
-            idx_path = lexmin_path(
-                spec,
-                free,
-                start[0] * stride + start[1],
-                goal[0] * stride + goal[1],
-                max_len,
-            )
-            if idx_path is None:
-                return None
-            coords = spec.coord
-            return [coords[i] for i in idx_path]
         avoid = avoid or set()
         queue = deque([start])
         parent: Dict[Coord, Optional[Coord]] = {start: None}
@@ -471,7 +399,6 @@ class InLayerMapper:
         """
         graph = fusion.graph
         self._hints = hints or {}
-        self._degree = dict(graph.degree())
         self._open_layer()
         start_layer = len(self.layers) - 1
 
@@ -584,8 +511,7 @@ class InLayerMapper:
 
         if not a_cur and not b_cur:
             # new component (or fresh layer): seed one endpoint
-            degree = self._degree
-            seed = a if degree[a] >= degree[b] else b
+            seed = a if graph.degree(a) >= graph.degree(b) else b
             near = self._hints.get(seed, self._hints.get(a, self._hints.get(b)))
             if not self._place_new_node(seed, graph, near=near, budget_for_edge=False):
                 return "spill"
@@ -610,11 +536,9 @@ class InLayerMapper:
             assert self._current is not None
             self._current.paths.append([ca, cb])
             return "edge"
-        t0 = perf_counter()
         path = self._bfs_path(
-            ca, lambda nxt, cur: nxt == cb, max_len=self.connect_radius, goal=cb
+            ca, lambda nxt, cur: nxt == cb, max_len=self.connect_radius
         )
-        self.stage_seconds["route"] += perf_counter() - t0
         if path is None:
             return "defer"
         interior = path[1:-1]
@@ -637,76 +561,24 @@ class InLayerMapper:
                 return "defer"
             return "spill"
         cp = self.placements[placed].coord
-        degree = self._degree[new]
+        degree = graph.degree(new)
         after = {
             placed: self._remaining.get(placed, 0) - 1,
             new: degree - 1,
         }
-        # direct candidates: free cells adjacent to the anchor, scored
-        # straight off the packed planes.  This inlines _score_candidate
-        # for the single-cell case: the area term extends the running
-        # bounding rectangle, and each blockage term is two plane reads
-        # per neighbour, accumulated in the same U, D, L, R order (hence
-        # the same float sum) as the scalar scorer.
-        t0 = perf_counter()
-        spec = self._spec
-        bit = spec.bit
-        nbr_idx = spec.nbr_idx
-        occ_bits = self._occ_bits
-        node_bits = self._node_bits
-        fnc = self._fnc
-        rem_at = self._rem_at
-        alpha = self.alpha
-        cp_idx = cp[0] * spec.stride + cp[1]
-        after_placed = after[placed]
-        rem_new = degree - 1
-        assert self._rect is not None  # the anchor is mapped
-        x0, y0, x1, y1 = self._rect
+        # direct candidates: free cells adjacent to the anchor
         options: List[Tuple[float, Coord, Optional[List[Coord]]]] = []
-        coords = spec.coord
-        min_direct = float("inf")
-        for s_idx in nbr_idx[cp_idx]:
-            if occ_bits & bit[s_idx]:
-                continue
-            cell = coords[s_idx]
-            r, c = cell
-            cx0 = r if r < x0 else x0
-            cx1 = r if r > x1 else x1
-            cy0 = c if c < y0 else y0
-            cy1 = c if c > y1 else y1
-            score = float((cx1 - cx0 + 1) * (cy1 - cy0 + 1))
-            for p_idx in nbr_idx[s_idx]:
-                if not node_bits & bit[p_idx]:
-                    continue
-                rem = after_placed if p_idx == cp_idx else rem_at[p_idx]
-                if rem <= 0:
-                    continue
-                free = fnc[p_idx] - 1
-                if free == 0:
-                    score += alpha
-                elif rem > free:
-                    score += 1.0
-            if rem_new > 0:
-                free = fnc[s_idx]
-                if free == 0:
-                    score += alpha
-                elif rem_new > free:
-                    score += 1.0
-            options.append((score, cell, None))
-            if score < min_direct:
-                min_direct = score
-        self.stage_seconds["score"] += perf_counter() - t0
+        for cell in self._neighbors(cp):
+            if self._free(cell):
+                score = self._score_candidate([cell], new, cell, after)
+                options.append((score, cell, None))
         # routing is triggered when direct mapping is impossible or when
         # every direct option blocks a node (score carries an alpha term)
-        need_routing = not options or min_direct >= self.alpha
+        need_routing = not options or min(s for s, _, _ in options) >= self.alpha
         if need_routing:
             needed = max(1, min(degree - 1, 3))
-            best_so_far = min_direct
-            t0 = perf_counter()
-            routed = self._routed_targets(cp, needed)
-            self.stage_seconds["route"] += perf_counter() - t0
-            t0 = perf_counter()
-            for path in routed:
+            best_so_far = min((s for s, _, _ in options), default=float("inf"))
+            for path in self._routed_targets(cp, needed):
                 target = path[-1]
                 cells = path[1:]
                 # the aux-cell penalty and the (monotone) area term bound
@@ -723,28 +595,18 @@ class InLayerMapper:
                 options.append((score, target, path))
                 if score < best_so_far:
                     best_so_far = score
-            self.stage_seconds["score"] += perf_counter() - t0
         if not options:
             return "spill"
-        t0 = perf_counter()
-        best_opt = options[0]
-        for cand in options:
-            if cand[0] < best_opt[0] or (
-                cand[0] == best_opt[0] and cand[1] < best_opt[1]
-            ):
-                best_opt = cand
-        _, best, path = best_opt
+        _, best, path = min(options, key=lambda o: (o[0], o[1]))
         self._place_node(new, best, degree)
         self._consume(placed)
         self._consume(new)
         assert self._current is not None
         if path is None:
             self._current.paths.append([cp, best])
-            self.stage_seconds["place"] += perf_counter() - t0
             return "edge"
         self._mark_aux(path[1:-1])
         self._current.paths.append(path)
-        self.stage_seconds["place"] += perf_counter() - t0
         return len(path) - 2
 
     def _routed_targets(
@@ -759,45 +621,29 @@ class InLayerMapper:
         if limit is None:
             limit = self.route_targets_limit
         results: List[List[Coord]] = []
-        spec = self._spec
-        stride = spec.stride
-        nbr_idx = spec.nbr_idx
-        occ_bits = self._occ_bits
-        fnc = self._fnc
-        bit = spec.bit
-        coords = spec.coord
+        queue = deque([start])
+        parent: Dict[Coord, Optional[Coord]] = {start: None}
+        depth = {start: 0}
+        nbr_table = self._nbr_table
+        occupied = self._occupied
         radius = self.route_radius
-        gen = self._bfs_gen + 1
-        self._bfs_gen = gen
-        seen = self._bfs_seen
-        parent = self._bfs_parent
-        depth = self._bfs_depth
-        start_idx = start[0] * stride + start[1]
-        seen[start_idx] = gen
-        parent[start_idx] = -1
-        depth[start_idx] = 0
-        queue = [start_idx]
-        head = 0
-        while head < len(queue) and len(results) < limit:
-            cur = queue[head]
-            head += 1
-            cur_depth = depth[cur]
-            if cur_depth >= radius:
+        while queue and len(results) < limit:
+            cur = queue.popleft()
+            if depth[cur] >= radius:
                 continue
-            for nxt in nbr_idx[cur]:
-                if seen[nxt] == gen or occ_bits & bit[nxt]:
+            for nxt in nbr_table[cur]:
+                if nxt in parent or nxt in occupied:
                     continue
-                seen[nxt] = gen
                 parent[nxt] = cur
-                depth[nxt] = cur_depth + 1
-                if cur_depth >= 1 and fnc[nxt] >= needed:
-                    idx_path = [nxt]
-                    back = cur
-                    while back != -1:
-                        idx_path.append(back)
+                depth[nxt] = depth[cur] + 1
+                if depth[nxt] >= 2 and self._free_neighbor_count(nxt) >= needed:
+                    path = [nxt]
+                    back: Optional[Coord] = cur
+                    while back is not None:
+                        path.append(back)
                         back = parent[back]
-                    idx_path.reverse()
-                    results.append([coords[i] for i in idx_path])
+                    path.reverse()
+                    results.append(path)
                 queue.append(nxt)
         return results
 
@@ -809,18 +655,15 @@ class InLayerMapper:
         budget_for_edge: bool,
     ) -> bool:
         """Place a node with no in-layer anchor (seed or stub neighbour)."""
-        degree = self._degree[node]
+        degree = graph.degree(node)
         if near is None:
             near = self._hints.get(node)
-        t0 = perf_counter()
         coord = self._find_free_cell_near(near)
         if coord is None:
-            self.stage_seconds["place"] += perf_counter() - t0
             return False
         self._place_node(node, coord, degree)
         if budget_for_edge:
             self._consume(node)
-        self.stage_seconds["place"] += perf_counter() - t0
         return True
 
     def _find_free_cell_near(self, near: Optional[Coord]) -> Optional[Coord]:
@@ -832,64 +675,27 @@ class InLayerMapper:
                 near = (min(rows - 1, x1 + 2), min(cols - 1, (y0 + y1) // 2))
             else:
                 near = (rows // 2, cols // 2)
-        spec = self._spec
-        near_idx = near[0] * spec.stride + near[1]
-        if not self._occ_bits & spec.bit[near_idx] and self._fnc[near_idx] >= 1:
+        if self._free(near) and self._free_neighbor_count(near) >= 1:
             return near
         # deterministic outward scan: candidates are visited in
-        # (manhattan distance, row, column) order — ring d of the packed
-        # frontier expansion is exactly the distance-d diamond, and the
-        # lowest set bit of a ring is its (row, col)-minimal cell.  The
-        # previous spiral BFS broke distance ties by queue insertion
-        # order and measured distance through occupied cells only, so
-        # the chosen cell depended on the occupancy history rather than
-        # the geometry.
-        hit = nearest_free(spec, self._occ_bits, near_idx)
-        if hit is None:
-            return None
-        return spec.coord[hit]
-
-
-def _bridge_set(graph: nx.Graph) -> Set[FrozenSet[FGNode]]:
-    """The bridges of *graph* as frozenset edges (iterative low-link DFS).
-
-    Bridges are a property of the graph, so this returns the same set as
-    ``nx.bridges`` at a fraction of the constant factor — and
-    :func:`_edge_order` only ever tests membership, so DFS order is
-    irrelevant.
-    """
-    index: Dict[FGNode, int] = {}
-    low: Dict[FGNode, int] = {}
-    bridges: Set[FrozenSet[FGNode]] = set()
-    counter = 0
-    adj = graph.adj
-    for root in graph.nodes():
-        if root in index:
-            continue
-        index[root] = low[root] = counter
-        counter += 1
-        stack = [(root, root, iter(adj[root]))]
-        while stack:
-            node, parent, neighbors = stack[-1]
-            descended = False
-            for nbr in neighbors:
-                if nbr not in index:
-                    index[nbr] = low[nbr] = counter
-                    counter += 1
-                    stack.append((nbr, node, iter(adj[nbr])))
-                    descended = True
-                    break
-                if nbr != parent and index[nbr] < low[node]:
-                    low[node] = index[nbr]
-            if not descended:
-                stack.pop()
-                if stack:
-                    pnode = stack[-1][0]
-                    if low[node] < low[pnode]:
-                        low[pnode] = low[node]
-                    if low[node] > index[pnode]:
-                        bridges.add(frozenset((pnode, node)))
-    return bridges
+        # (manhattan distance, row, column) order.  The previous spiral
+        # BFS broke distance ties by queue insertion order and measured
+        # distance through occupied cells only, so the chosen cell
+        # depended on the occupancy history rather than the geometry.
+        occupied = self._occupied
+        nr, nc = near
+        for dist in range(1, rows + cols - 1):
+            for dr in range(-dist, dist + 1):
+                r = nr + dr
+                if r < 0 or r >= rows:
+                    continue
+                rem = dist - abs(dr)
+                c = nc - rem
+                if c >= 0 and (r, c) not in occupied:
+                    return (r, c)
+                if rem and nc + rem < cols and (r, nc + rem) not in occupied:
+                    return (r, nc + rem)
+        return None
 
 
 def _edge_order(graph: nx.Graph) -> List[Tuple[FGNode, FGNode]]:
@@ -900,14 +706,7 @@ def _edge_order(graph: nx.Graph) -> List[Tuple[FGNode, FGNode]]:
     """
     if graph.number_of_edges() == 0:
         return []
-    # both directions of every bridge, as plain tuples: the sort key
-    # below then avoids a frozenset allocation per neighbour
-    bridge_pairs: Set[Tuple[FGNode, FGNode]] = set()
-    for e in _bridge_set(graph):
-        a, b = tuple(e)
-        bridge_pairs.add((a, b))
-        bridge_pairs.add((b, a))
-    degree: Dict[FGNode, int] = dict(graph.degree())
+    bridges = {frozenset(e) for e in nx.bridges(graph)}
     order: List[Tuple[FGNode, FGNode]] = []
     seen_edges: Set[frozenset] = set()
     visited: Set[FGNode] = set()
@@ -915,7 +714,7 @@ def _edge_order(graph: nx.Graph) -> List[Tuple[FGNode, FGNode]]:
         nx.connected_components(graph), key=len, reverse=True
     )
     for comp in components:
-        start = max(comp, key=lambda v: (degree[v], v))
+        start = max(comp, key=lambda v: (graph.degree(v), v))
         visited.add(start)
         queue = deque([start])
         while queue:
@@ -923,8 +722,8 @@ def _edge_order(graph: nx.Graph) -> List[Tuple[FGNode, FGNode]]:
             nbrs = sorted(
                 graph.neighbors(u),
                 key=lambda w: (
-                    (u, w) in bridge_pairs,  # cycle edges first
-                    -degree[w],
+                    frozenset((u, w)) in bridges,  # cycle edges first
+                    -graph.degree(w),
                     w,
                 ),
             )

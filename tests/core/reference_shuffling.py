@@ -1,5 +1,11 @@
 """Inter-layer shuffling (paper Sec. 6, Fig. 10).
 
+FROZEN REFERENCE (do not edit): verbatim snapshot of the scalar
+implementation taken immediately before the bit-packed rewrite of the
+live module.  tests/core/test_mapping_equivalence_v2.py pins the packed
+path bit-identical to this code; benchmarks/bench_mapping_v2.py measures
+the speedup against it.
+
 Incomplete nodes — nodes whose edges could not all be realized within
 their layer — are reconnected on dedicated shuffle layers inserted
 between mapped layers.  Pairs are sorted by distance and routed greedily
@@ -13,18 +19,14 @@ Cost model per connected pair:
 * otherwise: two temporal fusions into/out of the shuffle layer plus one
   spatial fusion per path segment; every traversed cell is an auxiliary
   resource state usable by only one path.
-
-Routing runs on bit-packed occupancy planes (:mod:`repro.utils.bitgrid`)
-and is pinned bit-identical to the frozen scalar reference
-(``tests/core/reference_shuffling.py``) by the v2 equivalence suite.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.utils.bitgrid import lexmin_path, spec_for
 from repro.utils.geometry import grid_neighbor_table, manhattan
 
 Coord = Tuple[int, int]
@@ -32,31 +34,11 @@ Coord = Tuple[int, int]
 
 @dataclass
 class ShuffleLayer:
-    """Occupancy of one shuffle layer.
-
-    ``used`` is the public source of truth and may be seeded externally
-    (tests do); the packed occupancy mirror resyncs whenever its size
-    disagrees, so cells must be added to ``used``, never swapped in
-    place between ``try_route`` calls.
-    """
+    """Occupancy of one shuffle layer."""
 
     shape: Tuple[int, int]
     used: Set[Coord] = field(default_factory=set)
     paths: List[List[Coord]] = field(default_factory=list)
-
-    def __post_init__(self) -> None:
-        self._spec = spec_for(self.shape)
-        self._used_bits = 0
-        self._synced = 0
-        self._resync()
-
-    def _resync(self) -> None:
-        spec = self._spec
-        bits = 0
-        for (r, c) in self.used:
-            bits |= spec.bit[r * spec.stride + c]
-        self._used_bits = bits
-        self._synced = len(self.used)
 
     def _neighbors(self, coord: Coord) -> List[Coord]:
         return grid_neighbor_table(self.shape)[coord]
@@ -64,11 +46,8 @@ class ShuffleLayer:
     def try_route(self, a: Coord, b: Coord) -> Optional[List[Coord]]:
         """Shortest free path from *a* to *b* (inclusive), or None.
 
-        The search runs on the packed frontier kernel and returns the
-        same lexicographically minimal shortest path as the scalar FIFO
-        BFS it replaced.  ``a == b`` never reaches here:
-        :func:`connect_pairs` realizes same-cell pairs as pure temporal
-        fusions without a shuffle layer.
+        ``a == b`` never reaches here: :func:`connect_pairs` realizes
+        same-cell pairs as pure temporal fusions without a shuffle layer.
         """
         if a in self.used or b in self.used:
             return None
@@ -86,27 +65,28 @@ class ShuffleLayer:
                 return None
             if all(p in used for p in nbr_table[b]):
                 return None
-        if len(used) != self._synced:
-            self._resync()
-        spec = self._spec
-        stride = spec.stride
-        idx_path = lexmin_path(
-            spec,
-            spec.full & ~self._used_bits,
-            a[0] * stride + a[1],
-            b[0] * stride + b[1],
-        )
-        if idx_path is None:
-            return None
-        path = [spec.coord[i] for i in idx_path]
-        bits = self._used_bits
-        for i in idx_path:
-            bits |= spec.bit[i]
-        self._used_bits = bits
-        self.used.update(path)
-        self._synced = len(self.used)
-        self.paths.append(path)
-        return path
+        queue = deque([a])
+        pop = queue.popleft
+        push = queue.append
+        parent: Dict[Coord, Optional[Coord]] = {a: None}
+        while queue:
+            cur = pop()
+            for nxt in nbr_table[cur]:
+                if nxt in parent or nxt in used:
+                    continue
+                parent[nxt] = cur
+                if nxt == b:
+                    path = [b]
+                    back = cur
+                    while back is not None:
+                        path.append(back)
+                        back = parent[back]
+                    path.reverse()
+                    self.used.update(path)
+                    self.paths.append(path)
+                    return path
+                push(nxt)
+        return None
 
 
 @dataclass

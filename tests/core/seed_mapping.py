@@ -1,4 +1,16 @@
-"""Fusion mapping and routing (paper Sec. 6): in-layer heuristic search.
+"""SEED SNAPSHOT (do not edit): the v0 in-layer mapper, verbatim.
+
+Frozen copy of ``src/repro/core/mapping.py`` from the repo's growth seed
+(commit 0dbf3a3).  It predates the packed planes, the deterministic
+tie-break fix and the routing/scoring overhauls, so its *outputs* are
+not compared against the live path — ``benchmarks/bench_mapping_v2.py``
+times it as the speedup-gate baseline, the same role the seed CHP
+engine in ``tests/sim/reference_stabilizer.py`` plays for
+``bench_stabilizer.py``.
+
+Original module docstring follows.
+
+Fusion mapping and routing (paper Sec. 6): in-layer heuristic search.
 
 Embeds the irregular fusion graph into the regular grid of one (possibly
 extended) physical layer after another.  Edges are traversed in
@@ -14,30 +26,18 @@ where a node is blocked when its remaining unmapped edges exceed its free
 adjacent cells.  Nodes whose edges cannot all be realized within a layer
 are *incomplete*; their leftover edges are handed to inter-layer
 shuffling (:mod:`repro.core.shuffling`).
-
-The hot path runs on bit-packed grid planes (:mod:`repro.utils.bitgrid`):
-layer occupancy, node cells, free-neighbour counts and per-cell remaining
-degrees are integer bitboards/flat planes, so candidate scoring is a
-handful of mask tests per cell and path search expands whole BFS
-frontiers per word op.  The packed path is pinned bit-identical to the
-frozen scalar reference (``tests/core/reference_mapping.py``) by
-``tests/core/test_mapping_equivalence_v2.py``: same placements, same
-routed paths, same metrics at a fixed seed.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from time import perf_counter
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
 from repro.core.fusion_graph import FGNode, FusionGraph
 from repro.hardware.resource_state import ResourceStateType
-from repro.utils.bitgrid import lexmin_path, nearest_free, spec_for
-from repro.utils.geometry import grid_neighbor_table
 
 Coord = Tuple[int, int]
 
@@ -85,9 +85,7 @@ class InLayerMapper:
         resource_state: ResourceStateType,
         alpha: Optional[float] = None,
         route_radius: int = 6,
-        route_targets_limit: int = 6,
-        connect_radius: Optional[int] = None,
-    ) -> None:
+    ):
         rows, cols = shape
         if rows < 2 or cols < 2:
             raise ValueError("layer must be at least 2x2")
@@ -96,30 +94,9 @@ class InLayerMapper:
         # paper: alpha > 1, typically the max degree of the physical layer
         self.alpha = float(alpha) if alpha is not None else 4.0
         self.route_radius = route_radius
-        self.route_targets_limit = route_targets_limit
-        #: bound on placed-to-placed routing (:meth:`_connect_placed`);
-        #: ``None`` keeps the historical unbounded search — bounding it
-        #: trades routing fusions for deferred (shuffled) edges
-        self.connect_radius = connect_radius
         self.layers: List[LayerLayout] = []
         self.placements: Dict[FGNode, Placement] = {}
-        #: wall seconds spent in candidate scoring / path search /
-        #: placement bookkeeping, accumulated across all partitions
-        #: (surfaced by the compiler as the ``map_score`` /
-        #: ``map_route`` / ``map_place`` sub-stages)
-        self.stage_seconds: Dict[str, float] = {
-            "score": 0.0, "route": 0.0, "place": 0.0,
-        }
         self._hints: Dict[FGNode, Coord] = {}
-        self._nbr_table: Dict[Coord, List[Coord]] = grid_neighbor_table(shape)
-        self._spec = spec_for(shape)
-        # generation-stamped flat scratch planes for the routing BFS
-        # (reused across calls; a bumped generation invalidates them all
-        # without re-allocating)
-        self._bfs_gen = 0
-        self._bfs_seen: List[int] = [0] * self._spec.nbits
-        self._bfs_parent: List[int] = [0] * self._spec.nbits
-        self._bfs_depth: List[int] = [0] * self._spec.nbits
         self._reset_layer_state()
 
     # ------------------------------------------------------------------
@@ -131,13 +108,6 @@ class InLayerMapper:
         self._realized: Dict[FGNode, int] = {}
         self._rect: Optional[Tuple[int, int, int, int]] = None
         self._current: Optional[LayerLayout] = None
-        # packed layer planes: occupancy and node-cell bitboards, plus
-        # flat per-cell planes for free-neighbour counts and the
-        # remaining degree of the node occupying each cell
-        self._occ_bits: int = 0
-        self._node_bits: int = 0
-        self._fnc: List[int] = list(self._spec.free0)
-        self._rem_at: List[int] = [0] * self._spec.nbits
 
     def _open_layer(self) -> LayerLayout:
         layout = LayerLayout(index=len(self.layers), shape=self.shape)
@@ -162,27 +132,18 @@ class InLayerMapper:
         return 0 <= r < self.shape[0] and 0 <= c < self.shape[1]
 
     def _neighbors(self, coord: Coord) -> List[Coord]:
-        return self._nbr_table[coord]
+        r, c = coord
+        return [
+            p
+            for p in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1))
+            if self._in_bounds(p)
+        ]
 
     def _free(self, coord: Coord) -> bool:
         return coord not in self._occupied
 
     def _free_neighbor_count(self, coord: Coord) -> int:
-        """Free neighbours of *coord*, read off the packed plane.
-
-        Cells only ever become occupied within a layer, so the plane is
-        maintained by decrementing the four neighbours of every claimed
-        cell (:meth:`_place_node` / :meth:`_mark_aux`).
-        """
-        return self._fnc[coord[0] * self._spec.stride + coord[1]]
-
-    def _on_occupy(self, coord: Coord) -> None:
-        """Subclass hook invoked after every cell claim.
-
-        The packed planes are maintained inline by the claim sites; the
-        frozen scalar reference subclasses override this hook to keep
-        their own caches consistent.
-        """
+        return sum(1 for p in self._neighbors(coord) if self._free(p))
 
     # ------------------------------------------------------------------
     # cost function H
@@ -198,19 +159,11 @@ class InLayerMapper:
             return (max(xs) - min(xs) + 1) * (max(ys) - min(ys) + 1)
         x0, y0, x1, y1 = rect
         for (r, c) in coords:
-            if r < x0:
-                x0 = r
-            elif r > x1:
-                x1 = r
-            if c < y0:
-                y0 = c
-            elif c > y1:
-                y1 = c
+            x0, y0 = min(x0, r), min(y0, c)
+            x1, y1 = max(x1, r), max(y1, c)
         return (x1 - x0 + 1) * (y1 - y0 + 1)
 
-    def _blockage_score(
-        self, node: FGNode, coord: Coord, occupied_extra: Set[Coord]
-    ) -> float:
+    def _blockage_score(self, node: FGNode, coord: Coord, occupied_extra) -> float:
         """Blockage contribution of one placed node given extra occupancy."""
         remaining = self._remaining.get(node, 0)
         if remaining <= 0:
@@ -239,77 +192,25 @@ class InLayerMapper:
         change blockage, so the score is the area term plus local
         blockage deltas; the constant global part cancels in comparisons.
         """
-        spec = self._spec
-        stride = spec.stride
-        bit = spec.bit
-        nbr_idx = spec.nbr_idx
-        nbr_mask = spec.nbr_mask
-        node_bits = self._node_bits
-        fnc = self._fnc
-        rem_at = self._rem_at
-        remaining = self._remaining
-        alpha = self.alpha
-        # single-cell candidates (direct adjacency) dominate: avoid the
-        # mask allocations and min/max calls of the generic path
-        single = new_cells[0] if len(new_cells) == 1 else None
-        rect = self._rect
-        if single is not None and rect is not None:
-            x0, y0, x1, y1 = rect
-            r, c = single
-            if r < x0:
-                x0 = r
-            elif r > x1:
-                x1 = r
-            if c < y0:
-                y0 = c
-            elif c > y1:
-                y1 = c
-            score = float((x1 - x0 + 1) * (y1 - y0 + 1))
-        else:
-            score = float(self._rect_area_with(new_cells))
-        idxs = [r * stride + c for r, c in new_cells]
-        new_bits = 0
-        for i in idxs:
-            new_bits |= bit[i]
-        # Blockage terms accumulate in the scalar scorer's order — the
-        # affected placed nodes in first-encounter order over new cells x
-        # U, D, L, R neighbours, then the new node — so the float sum is
-        # bit-identical.  Each term is two plane reads and a popcount:
-        # free neighbours after the hypothetical claim is the maintained
-        # free count minus the claimed cells adjacent to the node.
-        seen = 0
-        for i in idxs:
-            for p_idx in nbr_idx[i]:
-                pb = bit[p_idx]
-                if not node_bits & pb or seen & pb:
-                    continue
-                seen |= pb
-                if remaining_after:
-                    node = self._occupied.get(spec.coord[p_idx])
-                    if node in remaining_after:
-                        rem = remaining_after[node]
-                    else:
-                        rem = rem_at[p_idx]
-                else:
-                    rem = rem_at[p_idx]
-                if rem <= 0:
-                    continue
-                free = fnc[p_idx] - (nbr_mask[p_idx] & new_bits).bit_count()
-                if free == 0:
-                    score += alpha
-                elif rem > free:
-                    score += 1.0
-        if new_node is not None and node_cell is not None:
-            rem = remaining_after.get(
-                new_node, remaining.get(new_node, 0)
-            )
-            if rem > 0:
-                i = node_cell[0] * stride + node_cell[1]
-                free = fnc[i] - (nbr_mask[i] & new_bits).bit_count()
-                if free == 0:
-                    score += alpha
-                elif rem > free:
-                    score += 1.0
+        occupied_extra = set(new_cells)
+        score = float(self._rect_area_with(new_cells))
+        affected: Set[Tuple[FGNode, Coord]] = set()
+        for cell in new_cells:
+            for p in self._neighbors(cell):
+                occ = self._occupied.get(p)
+                if isinstance(occ, tuple) and occ in self._remaining:
+                    place = self.placements.get(occ)
+                    if place is not None and place.layer == len(self.layers) - 1:
+                        affected.add((occ, place.coord))
+        saved = dict(self._remaining)
+        try:
+            self._remaining.update(remaining_after)
+            for node, coord in affected:
+                score += self._blockage_score(node, coord, occupied_extra)
+            if new_node is not None and node_cell is not None:
+                score += self._blockage_score(new_node, node_cell, occupied_extra)
+        finally:
+            self._remaining = saved
         return score
 
     # ------------------------------------------------------------------
@@ -320,16 +221,6 @@ class InLayerMapper:
         if not self._free(coord):
             raise RuntimeError(f"cell {coord} already occupied")
         self._occupied[coord] = node
-        spec = self._spec
-        idx = coord[0] * spec.stride + coord[1]
-        claimed = spec.bit[idx]
-        self._occ_bits |= claimed
-        self._node_bits |= claimed
-        fnc = self._fnc
-        for ni in spec.nbr_idx[idx]:
-            fnc[ni] -= 1
-        self._rem_at[idx] = degree
-        self._on_occupy(coord)
         self._current.node_at[coord] = node
         self.placements[node] = Placement(len(self.layers) - 1, coord)
         self._remaining[node] = degree
@@ -347,15 +238,8 @@ class InLayerMapper:
 
     def _mark_aux(self, cells: List[Coord]) -> None:
         assert self._current is not None
-        spec = self._spec
-        fnc = self._fnc
         for cell in cells:
             self._occupied[cell] = "aux"
-            idx = cell[0] * spec.stride + cell[1]
-            self._occ_bits |= spec.bit[idx]
-            for ni in spec.nbr_idx[idx]:
-                fnc[ni] -= 1
-            self._on_occupy(cell)
             self._current.aux_cells.add(cell)
             if self._rect is None:
                 self._rect = (cell[0], cell[1], cell[0], cell[1])
@@ -371,11 +255,6 @@ class InLayerMapper:
     def _consume(self, node: FGNode, count: int = 1) -> None:
         self._remaining[node] = self._remaining.get(node, 0) - count
         self._realized[node] = self._realized.get(node, 0) + count
-        place = self.placements.get(node)
-        if place is not None and place.layer == len(self.layers) - 1:
-            # mirror the remaining degree onto the packed plane
-            r, c = place.coord
-            self._rem_at[r * self._spec.stride + c] -= count
 
     def _node_capacity_left(self, node: FGNode) -> int:
         """Photons left on the node's resource state for more fusions."""
@@ -387,57 +266,32 @@ class InLayerMapper:
     def _bfs_path(
         self,
         start: Coord,
-        goal_test: Callable[[Coord, Coord], bool],
+        goal_test,
         max_len: Optional[int] = None,
         avoid: Optional[Set[Coord]] = None,
-        goal: Optional[Coord] = None,
     ) -> Optional[List[Coord]]:
         """Shortest path from *start* through free cells.
 
         ``start`` itself may be occupied (it is the source node's cell);
         every interior cell must be free.  Returns the full path including
         both endpoints, or None.
-
-        When the target is one known cell, callers pass it as ``goal``
-        and the search runs on the packed frontier kernel (which returns
-        the same lexicographically minimal path as the scalar FIFO BFS);
-        the ``goal_test`` form remains for subclasses and ad-hoc goals.
         """
-        if goal is not None:
-            spec = self._spec
-            stride = spec.stride
-            if avoid:
-                if goal in avoid:
-                    return None
-                free = spec.full & ~self._occ_bits
-                for (r, c) in avoid:
-                    free &= ~spec.bit[r * stride + c]
-            else:
-                free = spec.full & ~self._occ_bits
-            idx_path = lexmin_path(
-                spec,
-                free,
-                start[0] * stride + start[1],
-                goal[0] * stride + goal[1],
-                max_len,
-            )
-            if idx_path is None:
-                return None
-            coords = spec.coord
-            return [coords[i] for i in idx_path]
         avoid = avoid or set()
         queue = deque([start])
         parent: Dict[Coord, Optional[Coord]] = {start: None}
-        # depth is tracked alongside the BFS instead of being reconstructed
-        # by walking the parent chain on every dequeue (O(n^2) per route)
-        depth_of: Dict[Coord, int] = {start: 0}
-        nbr_table = self._nbr_table
-        occupied = self._occupied
         while queue:
             cur = queue.popleft()
-            if max_len is not None and depth_of[cur] >= max_len:
-                continue
-            for nxt in nbr_table[cur]:
+            depth = 0
+            # reconstruct depth lazily only when needed for max_len
+            if max_len is not None:
+                d, p = 0, cur
+                while parent[p] is not None:
+                    p = parent[p]
+                    d += 1
+                depth = d
+                if depth >= max_len:
+                    continue
+            for nxt in self._neighbors(cur):
                 if nxt in parent or nxt in avoid:
                     continue
                 if goal_test(nxt, cur):
@@ -449,9 +303,8 @@ class InLayerMapper:
                         back = parent[back]
                     path.reverse()
                     return path
-                if nxt not in occupied:
+                if self._free(nxt):
                     parent[nxt] = cur
-                    depth_of[nxt] = depth_of[cur] + 1
                     queue.append(nxt)
         return None
 
@@ -471,7 +324,6 @@ class InLayerMapper:
         """
         graph = fusion.graph
         self._hints = hints or {}
-        self._degree = dict(graph.degree())
         self._open_layer()
         start_layer = len(self.layers) - 1
 
@@ -552,9 +404,7 @@ class InLayerMapper:
         place = self.placements.get(node)
         return place is not None and place.layer == len(self.layers) - 1
 
-    def _realize_edge(
-        self, a: FGNode, b: FGNode, graph: nx.Graph
-    ) -> Union[str, int]:
+    def _realize_edge(self, a: FGNode, b: FGNode, graph: nx.Graph):
         """Attempt one edge.  Returns:
 
         * ``"edge"`` — realized by direct adjacency (1 fusion);
@@ -584,8 +434,7 @@ class InLayerMapper:
 
         if not a_cur and not b_cur:
             # new component (or fresh layer): seed one endpoint
-            degree = self._degree
-            seed = a if degree[a] >= degree[b] else b
+            seed = a if graph.degree(a) >= graph.degree(b) else b
             near = self._hints.get(seed, self._hints.get(a, self._hints.get(b)))
             if not self._place_new_node(seed, graph, near=near, budget_for_edge=False):
                 return "spill"
@@ -598,7 +447,7 @@ class InLayerMapper:
         return self._attach_new(placed_node, new_node, graph)
 
     # ------------------------------------------------------------------
-    def _connect_placed(self, a: FGNode, b: FGNode) -> Union[str, int]:
+    def _connect_placed(self, a: FGNode, b: FGNode):
         """Route an edge between two already-placed nodes (same layer)."""
         if self._node_capacity_left(a) <= 0 or self._node_capacity_left(b) <= 0:
             return "defer"
@@ -610,11 +459,7 @@ class InLayerMapper:
             assert self._current is not None
             self._current.paths.append([ca, cb])
             return "edge"
-        t0 = perf_counter()
-        path = self._bfs_path(
-            ca, lambda nxt, cur: nxt == cb, max_len=self.connect_radius, goal=cb
-        )
-        self.stage_seconds["route"] += perf_counter() - t0
+        path = self._bfs_path(ca, lambda nxt, cur: nxt == cb)
         if path is None:
             return "defer"
         interior = path[1:-1]
@@ -625,9 +470,7 @@ class InLayerMapper:
         self._current.paths.append(path)
         return len(path) - 2  # routing fusions beyond the 1 edge fusion
 
-    def _attach_new(
-        self, placed: FGNode, new: FGNode, graph: nx.Graph
-    ) -> Union[str, int]:
+    def _attach_new(self, placed: FGNode, new: FGNode, graph: nx.Graph):
         """Place *new* adjacent to *placed* (directly or via routing)."""
         if self._node_capacity_left(placed) <= 0:
             # port exhausted by routing overhead; hand to shuffling
@@ -637,167 +480,73 @@ class InLayerMapper:
                 return "defer"
             return "spill"
         cp = self.placements[placed].coord
-        degree = self._degree[new]
+        degree = graph.degree(new)
         after = {
             placed: self._remaining.get(placed, 0) - 1,
             new: degree - 1,
         }
-        # direct candidates: free cells adjacent to the anchor, scored
-        # straight off the packed planes.  This inlines _score_candidate
-        # for the single-cell case: the area term extends the running
-        # bounding rectangle, and each blockage term is two plane reads
-        # per neighbour, accumulated in the same U, D, L, R order (hence
-        # the same float sum) as the scalar scorer.
-        t0 = perf_counter()
-        spec = self._spec
-        bit = spec.bit
-        nbr_idx = spec.nbr_idx
-        occ_bits = self._occ_bits
-        node_bits = self._node_bits
-        fnc = self._fnc
-        rem_at = self._rem_at
-        alpha = self.alpha
-        cp_idx = cp[0] * spec.stride + cp[1]
-        after_placed = after[placed]
-        rem_new = degree - 1
-        assert self._rect is not None  # the anchor is mapped
-        x0, y0, x1, y1 = self._rect
+        # direct candidates: free cells adjacent to the anchor
         options: List[Tuple[float, Coord, Optional[List[Coord]]]] = []
-        coords = spec.coord
-        min_direct = float("inf")
-        for s_idx in nbr_idx[cp_idx]:
-            if occ_bits & bit[s_idx]:
-                continue
-            cell = coords[s_idx]
-            r, c = cell
-            cx0 = r if r < x0 else x0
-            cx1 = r if r > x1 else x1
-            cy0 = c if c < y0 else y0
-            cy1 = c if c > y1 else y1
-            score = float((cx1 - cx0 + 1) * (cy1 - cy0 + 1))
-            for p_idx in nbr_idx[s_idx]:
-                if not node_bits & bit[p_idx]:
-                    continue
-                rem = after_placed if p_idx == cp_idx else rem_at[p_idx]
-                if rem <= 0:
-                    continue
-                free = fnc[p_idx] - 1
-                if free == 0:
-                    score += alpha
-                elif rem > free:
-                    score += 1.0
-            if rem_new > 0:
-                free = fnc[s_idx]
-                if free == 0:
-                    score += alpha
-                elif rem_new > free:
-                    score += 1.0
-            options.append((score, cell, None))
-            if score < min_direct:
-                min_direct = score
-        self.stage_seconds["score"] += perf_counter() - t0
+        for cell in self._neighbors(cp):
+            if self._free(cell):
+                score = self._score_candidate([cell], new, cell, after)
+                options.append((score, cell, None))
         # routing is triggered when direct mapping is impossible or when
         # every direct option blocks a node (score carries an alpha term)
-        need_routing = not options or min_direct >= self.alpha
+        need_routing = not options or min(s for s, _, _ in options) >= self.alpha
         if need_routing:
             needed = max(1, min(degree - 1, 3))
-            best_so_far = min_direct
-            t0 = perf_counter()
-            routed = self._routed_targets(cp, needed)
-            self.stage_seconds["route"] += perf_counter() - t0
-            t0 = perf_counter()
-            for path in routed:
+            for path in self._routed_targets(cp, needed):
                 target = path[-1]
                 cells = path[1:]
-                # the aux-cell penalty and the (monotone) area term bound
-                # the score from below; blockage only adds to it, so a
-                # path whose bound already loses cannot be the minimum
-                penalty = 0.25 * (len(path) - 2)
-                bound = float(self._rect_area_with(cells)) + penalty
-                if bound > best_so_far:
-                    continue
                 score = self._score_candidate(cells, new, target, after)
                 # prefer direct edges when scores tie: each aux cell costs
                 # a fusion, which H does not see
-                score += penalty
+                score += 0.25 * (len(path) - 2)
                 options.append((score, target, path))
-                if score < best_so_far:
-                    best_so_far = score
-            self.stage_seconds["score"] += perf_counter() - t0
         if not options:
             return "spill"
-        t0 = perf_counter()
-        best_opt = options[0]
-        for cand in options:
-            if cand[0] < best_opt[0] or (
-                cand[0] == best_opt[0] and cand[1] < best_opt[1]
-            ):
-                best_opt = cand
-        _, best, path = best_opt
+        _, best, path = min(options, key=lambda o: (o[0], o[1]))
         self._place_node(new, best, degree)
         self._consume(placed)
         self._consume(new)
         assert self._current is not None
         if path is None:
             self._current.paths.append([cp, best])
-            self.stage_seconds["place"] += perf_counter() - t0
             return "edge"
         self._mark_aux(path[1:-1])
         self._current.paths.append(path)
-        self.stage_seconds["place"] += perf_counter() - t0
         return len(path) - 2
 
     def _routed_targets(
-        self, start: Coord, needed: int, limit: Optional[int] = None
+        self, start: Coord, needed: int, limit: int = 6
     ) -> List[List[Coord]]:
         """Up to *limit* shortest free paths to roomy cells around *start*.
 
         Routing paths have length >= 2 (at least one auxiliary state), as
-        in the paper; each returned path includes both endpoints.  The
-        default *limit* is the mapper's ``route_targets_limit``.
+        in the paper; each returned path includes both endpoints.
         """
-        if limit is None:
-            limit = self.route_targets_limit
         results: List[List[Coord]] = []
-        spec = self._spec
-        stride = spec.stride
-        nbr_idx = spec.nbr_idx
-        occ_bits = self._occ_bits
-        fnc = self._fnc
-        bit = spec.bit
-        coords = spec.coord
-        radius = self.route_radius
-        gen = self._bfs_gen + 1
-        self._bfs_gen = gen
-        seen = self._bfs_seen
-        parent = self._bfs_parent
-        depth = self._bfs_depth
-        start_idx = start[0] * stride + start[1]
-        seen[start_idx] = gen
-        parent[start_idx] = -1
-        depth[start_idx] = 0
-        queue = [start_idx]
-        head = 0
-        while head < len(queue) and len(results) < limit:
-            cur = queue[head]
-            head += 1
-            cur_depth = depth[cur]
-            if cur_depth >= radius:
+        queue = deque([start])
+        parent: Dict[Coord, Optional[Coord]] = {start: None}
+        depth = {start: 0}
+        while queue and len(results) < limit:
+            cur = queue.popleft()
+            if depth[cur] >= self.route_radius:
                 continue
-            for nxt in nbr_idx[cur]:
-                if seen[nxt] == gen or occ_bits & bit[nxt]:
+            for nxt in self._neighbors(cur):
+                if nxt in parent or not self._free(nxt):
                     continue
-                seen[nxt] = gen
                 parent[nxt] = cur
-                depth[nxt] = cur_depth + 1
-                if cur_depth >= 1 and fnc[nxt] >= needed:
-                    idx_path = [nxt]
-                    back = cur
-                    while back != -1:
-                        idx_path.append(back)
+                depth[nxt] = depth[cur] + 1
+                if depth[nxt] >= 2 and self._free_neighbor_count(nxt) >= needed:
+                    path = [nxt]
+                    back: Optional[Coord] = cur
+                    while back is not None:
+                        path.append(back)
                         back = parent[back]
-                    idx_path.reverse()
-                    results.append([coords[i] for i in idx_path])
+                    path.reverse()
+                    results.append(path)
                 queue.append(nxt)
         return results
 
@@ -809,18 +558,15 @@ class InLayerMapper:
         budget_for_edge: bool,
     ) -> bool:
         """Place a node with no in-layer anchor (seed or stub neighbour)."""
-        degree = self._degree[node]
+        degree = graph.degree(node)
         if near is None:
             near = self._hints.get(node)
-        t0 = perf_counter()
         coord = self._find_free_cell_near(near)
         if coord is None:
-            self.stage_seconds["place"] += perf_counter() - t0
             return False
         self._place_node(node, coord, degree)
         if budget_for_edge:
             self._consume(node)
-        self.stage_seconds["place"] += perf_counter() - t0
         return True
 
     def _find_free_cell_near(self, near: Optional[Coord]) -> Optional[Coord]:
@@ -832,64 +578,21 @@ class InLayerMapper:
                 near = (min(rows - 1, x1 + 2), min(cols - 1, (y0 + y1) // 2))
             else:
                 near = (rows // 2, cols // 2)
-        spec = self._spec
-        near_idx = near[0] * spec.stride + near[1]
-        if not self._occ_bits & spec.bit[near_idx] and self._fnc[near_idx] >= 1:
+        if self._free(near) and self._free_neighbor_count(near) >= 1:
             return near
-        # deterministic outward scan: candidates are visited in
-        # (manhattan distance, row, column) order — ring d of the packed
-        # frontier expansion is exactly the distance-d diamond, and the
-        # lowest set bit of a ring is its (row, col)-minimal cell.  The
-        # previous spiral BFS broke distance ties by queue insertion
-        # order and measured distance through occupied cells only, so
-        # the chosen cell depended on the occupancy history rather than
-        # the geometry.
-        hit = nearest_free(spec, self._occ_bits, near_idx)
-        if hit is None:
-            return None
-        return spec.coord[hit]
-
-
-def _bridge_set(graph: nx.Graph) -> Set[FrozenSet[FGNode]]:
-    """The bridges of *graph* as frozenset edges (iterative low-link DFS).
-
-    Bridges are a property of the graph, so this returns the same set as
-    ``nx.bridges`` at a fraction of the constant factor — and
-    :func:`_edge_order` only ever tests membership, so DFS order is
-    irrelevant.
-    """
-    index: Dict[FGNode, int] = {}
-    low: Dict[FGNode, int] = {}
-    bridges: Set[FrozenSet[FGNode]] = set()
-    counter = 0
-    adj = graph.adj
-    for root in graph.nodes():
-        if root in index:
-            continue
-        index[root] = low[root] = counter
-        counter += 1
-        stack = [(root, root, iter(adj[root]))]
-        while stack:
-            node, parent, neighbors = stack[-1]
-            descended = False
-            for nbr in neighbors:
-                if nbr not in index:
-                    index[nbr] = low[nbr] = counter
-                    counter += 1
-                    stack.append((nbr, node, iter(adj[nbr])))
-                    descended = True
-                    break
-                if nbr != parent and index[nbr] < low[node]:
-                    low[node] = index[nbr]
-            if not descended:
-                stack.pop()
-                if stack:
-                    pnode = stack[-1][0]
-                    if low[node] < low[pnode]:
-                        low[pnode] = low[node]
-                    if low[node] > index[pnode]:
-                        bridges.add(frozenset((pnode, node)))
-    return bridges
+        # spiral BFS outward over all cells (not only free-connected ones)
+        queue = deque([near])
+        seen = {near}
+        while queue:
+            cur = queue.popleft()
+            for nxt in self._neighbors(cur):
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                if self._free(nxt):
+                    return nxt
+                queue.append(nxt)
+        return None
 
 
 def _edge_order(graph: nx.Graph) -> List[Tuple[FGNode, FGNode]]:
@@ -900,14 +603,7 @@ def _edge_order(graph: nx.Graph) -> List[Tuple[FGNode, FGNode]]:
     """
     if graph.number_of_edges() == 0:
         return []
-    # both directions of every bridge, as plain tuples: the sort key
-    # below then avoids a frozenset allocation per neighbour
-    bridge_pairs: Set[Tuple[FGNode, FGNode]] = set()
-    for e in _bridge_set(graph):
-        a, b = tuple(e)
-        bridge_pairs.add((a, b))
-        bridge_pairs.add((b, a))
-    degree: Dict[FGNode, int] = dict(graph.degree())
+    bridges = {frozenset(e) for e in nx.bridges(graph)}
     order: List[Tuple[FGNode, FGNode]] = []
     seen_edges: Set[frozenset] = set()
     visited: Set[FGNode] = set()
@@ -915,7 +611,7 @@ def _edge_order(graph: nx.Graph) -> List[Tuple[FGNode, FGNode]]:
         nx.connected_components(graph), key=len, reverse=True
     )
     for comp in components:
-        start = max(comp, key=lambda v: (degree[v], v))
+        start = max(comp, key=lambda v: (graph.degree(v), v))
         visited.add(start)
         queue = deque([start])
         while queue:
@@ -923,8 +619,8 @@ def _edge_order(graph: nx.Graph) -> List[Tuple[FGNode, FGNode]]:
             nbrs = sorted(
                 graph.neighbors(u),
                 key=lambda w: (
-                    (u, w) in bridge_pairs,  # cycle edges first
-                    -degree[w],
+                    frozenset((u, w)) in bridges,  # cycle edges first
+                    -graph.degree(w),
                     w,
                 ),
             )

@@ -50,6 +50,7 @@ class ReferenceMapper(InLayerMapper):
         goal_test,
         max_len: Optional[int] = None,
         avoid: Optional[Set[Coord]] = None,
+        goal: Optional[Coord] = None,  # packed-path hint; scalar BFS ignores it
     ) -> Optional[List[Coord]]:
         avoid = avoid or set()
         queue = deque([start])

@@ -1,0 +1,376 @@
+"""Bit-identity of the packed compile path against its frozen references.
+
+The packed mapper/shuffler (``repro.core.mapping`` /
+``repro.core.shuffling``) rewrote every hot path — scoring, routing,
+free-cell scans — on bitboard planes with the contract that they are
+*observationally identical* to the scalar implementations they replaced.
+``reference_mapping.py`` / ``reference_shuffling.py`` carry those scalar
+predecessors verbatim; everything the compiler consumes (placements,
+layer occupancy, auxiliary cells, paths, fusion tallies, deferred edges)
+must match bit for bit — on the benchmark grid, on randomized fusion
+graphs, and on adversarial shapes (single-row shuffle grids, layers
+filled to the brim, route-impossible pairs).
+
+The parallel-mapping tests pin a second contract: ``map_jobs`` > 1
+distributes partitions over worker processes but must reproduce the
+sequential compile exactly (the seed-coordinate hint chain degrades to
+wave-boundary hints identically in both code paths because the waves
+are built from the same back-edge dependencies).
+"""
+
+import random
+from typing import List, Set, Tuple
+
+import networkx as nx
+import pytest
+
+import reference_mapping
+import reference_shuffling
+
+import repro.core.mapping as packed_mapping
+import repro.core.shuffling as packed_shuffling
+from repro.circuit.benchmarks import get_benchmark
+from repro.core.compiler import OneQCompiler, OneQConfig
+from repro.core.fusion_graph import FusionGraph, build_fusion_graph
+from repro.core.partition import (
+    PartitionConfig,
+    partition_pattern,
+    required_degrees,
+    schedule_layers,
+)
+from repro.eval.experiments import _hardware_for
+from repro.hardware.resource_state import THREE_LINE
+from repro.mbqc.translate import circuit_to_pattern
+
+Coord = Tuple[int, int]
+
+GRID = [("BV", 16), ("QFT", 16), ("QAOA", 16)]
+SEEDS = (3, 7)
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _mapper_snapshot(mapper):
+    """Everything the compiler reads out of a mapper, order-normalized."""
+    return {
+        "placements": {
+            node: (place.layer, place.coord)
+            for node, place in mapper.placements.items()
+        },
+        "layers": [
+            (
+                sorted(layer.node_at.items()),
+                sorted(layer.aux_cells),
+                sorted(map(tuple, layer.paths)),
+                sorted(layer.incomplete),
+            )
+            for layer in mapper.layers
+        ],
+    }
+
+
+def _map_benchmark(mapping_mod, name: str, qubits: int, seed: int):
+    """Partition a benchmark and map every partition with hint chaining
+    (the compiler's sequential walk)."""
+    circuit = get_benchmark(name, qubits, seed=seed)
+    hardware = _hardware_for(qubits, THREE_LINE)
+    pattern = circuit_to_pattern(circuit)
+    rst = hardware.resource_state
+    rows, cols = hardware.extended_shape
+    config = PartitionConfig(target_states=max(4, int(0.7 * rows * cols)))
+    layers = schedule_layers(pattern, config)
+    estimator = lambda node: rst.states_for_degree(  # noqa: E731
+        pattern.graph.degree(node)
+    )
+    partitions = partition_pattern(
+        pattern, config, size_estimator=estimator, layers=layers
+    )
+    home = {}
+    for part in partitions:
+        for node in part.nodes:
+            home[node] = part.index
+    mapper = mapping_mod.InLayerMapper(
+        shape=hardware.extended_shape, resource_state=rst
+    )
+    port_of = {}
+    tally = {"synthesis": 0, "edge": 0, "routing": 0}
+    deferred = []
+    for part in partitions:
+        cross_nbrs = {
+            node: [
+                nbr
+                for nbr in pattern.graph.neighbors(node)
+                if home[nbr] != part.index
+            ]
+            for node in part.nodes
+        }
+        fusion = build_fusion_graph(
+            part.subgraph,
+            required_degrees(part, pattern.graph),
+            rst,
+            cross_neighbors=cross_nbrs,
+        )
+        hints = {}
+        for u, v in part.back_edges:
+            src_port = port_of.get((u, v))
+            dst_port = fusion.port_of.get((v, u))
+            if src_port is None or dst_port is None:
+                continue
+            placed = mapper.placements.get(src_port)
+            if placed is not None:
+                hints[dst_port] = placed.coord
+        port_of.update(fusion.port_of)
+        result = mapper.map_fusion_graph(fusion, hints=hints)
+        tally["synthesis"] += result.synthesis_fusions
+        tally["edge"] += result.edge_fusions
+        tally["routing"] += result.routing_fusions
+        deferred.extend(result.deferred_edges)
+    snap = _mapper_snapshot(mapper)
+    snap["tally"] = tally
+    snap["deferred"] = sorted(deferred)
+    return snap
+
+
+def _map_raw_graph(mapping_mod, graph: nx.Graph, shape: Coord):
+    mapper = mapping_mod.InLayerMapper(shape=shape, resource_state=THREE_LINE)
+    result = mapper.map_fusion_graph(
+        FusionGraph(graph=graph.copy(), chains={}, port_of={})
+    )
+    snap = _mapper_snapshot(mapper)
+    snap["tally"] = (
+        result.synthesis_fusions,
+        result.edge_fusions,
+        result.routing_fusions,
+    )
+    snap["deferred"] = sorted(result.deferred_edges)
+    return snap
+
+
+# ----------------------------------------------------------------------
+# mapping: packed vs frozen scalar reference
+# ----------------------------------------------------------------------
+class TestPackedMapperIdentity:
+    @pytest.mark.parametrize("name,qubits", GRID)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_benchmark_grid_identical(self, name, qubits, seed):
+        packed = _map_benchmark(packed_mapping, name, qubits, seed)
+        ref = _map_benchmark(reference_mapping, name, qubits, seed)
+        assert packed == ref
+
+    @pytest.mark.parametrize("graph_seed", range(10))
+    def test_random_fusion_graphs_identical(self, graph_seed):
+        base = nx.gnm_random_graph(24, 30, seed=graph_seed)
+        graph = nx.relabel_nodes(base, {v: (v, 0) for v in base.nodes()})
+        packed = _map_raw_graph(packed_mapping, graph, (9, 9))
+        ref = _map_raw_graph(reference_mapping, graph, (9, 9))
+        assert packed == ref
+
+    @pytest.mark.parametrize("graph_seed", range(5))
+    def test_overfull_layer_spills_identically(self, graph_seed):
+        """A graph far larger than one layer forces layer turnover,
+        incomplete nodes, and deferred edges — the spill paths."""
+        base = nx.gnm_random_graph(30, 44, seed=graph_seed)
+        graph = nx.relabel_nodes(base, {v: (v, 0) for v in base.nodes()})
+        packed = _map_raw_graph(packed_mapping, graph, (4, 4))
+        ref = _map_raw_graph(reference_mapping, graph, (4, 4))
+        assert packed == ref
+        assert len(packed["layers"]) > 1  # the spill path actually ran
+
+    def test_dense_graph_routes_identically(self):
+        """High-degree hubs exercise routing and alpha blockage terms."""
+        graph = nx.relabel_nodes(
+            nx.complete_graph(7), {v: (v, 0) for v in range(7)}
+        )
+        packed = _map_raw_graph(packed_mapping, graph, (6, 6))
+        ref = _map_raw_graph(reference_mapping, graph, (6, 6))
+        assert packed == ref
+
+    @pytest.mark.parametrize("shape", [(1, 5), (5, 1), (1, 1)])
+    def test_degenerate_grids_rejected_identically(self, shape):
+        for mod in (packed_mapping, reference_mapping):
+            with pytest.raises(ValueError):
+                mod.InLayerMapper(shape=shape, resource_state=THREE_LINE)
+
+
+# ----------------------------------------------------------------------
+# free-cell scan determinism (the seed's spiral BFS broke distance ties
+# by occupancy history; the packed scan is pure geometry)
+# ----------------------------------------------------------------------
+class TestFreeCellScanDeterminism:
+    def _occupy(self, mapping_mod, cells: List[Coord], shape=(6, 6)):
+        mapper = mapping_mod.InLayerMapper(
+            shape=shape, resource_state=THREE_LINE
+        )
+        mapper._open_layer()
+        for i, cell in enumerate(cells):
+            mapper._place_node((i, 0), cell, 0)
+        return mapper
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_insertion_order_invariant(self, seed):
+        """The chosen cell depends on the occupancy *set*, never on the
+        order the set was built in."""
+        rng = random.Random(seed)
+        cells = [(r, c) for r in range(6) for c in range(6)]
+        occupied = rng.sample(cells, 14)
+        shuffled = occupied[:]
+        rng.shuffle(shuffled)
+        forward = self._occupy(packed_mapping, occupied)
+        reordered = self._occupy(packed_mapping, shuffled)
+        for center in ((0, 0), (2, 3), (5, 5), (3, 0)):
+            assert forward._find_free_cell_near(
+                center
+            ) == reordered._find_free_cell_near(center)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_geometric_minimum(self, seed):
+        """Packed scan == brute-force (distance, row, col) minimum, and
+        == the frozen reference's deterministic scan."""
+        rng = random.Random(100 + seed)
+        cells = [(r, c) for r in range(6) for c in range(6)]
+        occupied = set(rng.sample(cells, 17))
+        packed = self._occupy(packed_mapping, sorted(occupied))
+        ref = self._occupy(reference_mapping, sorted(occupied))
+        free = [c for c in cells if c not in occupied]
+        for center in ((0, 0), (1, 4), (3, 3), (5, 2)):
+            got = packed._find_free_cell_near(center)
+            assert got == ref._find_free_cell_near(center)
+            if center not in occupied and any(
+                n not in occupied for n in packed._neighbors(center)
+            ):
+                assert got == center
+                continue
+            expected = min(
+                (c for c in free if c != center),
+                key=lambda c: (
+                    abs(c[0] - center[0]) + abs(c[1] - center[1]),
+                    c,
+                ),
+                default=None,
+            )
+            assert got == expected
+
+
+# ----------------------------------------------------------------------
+# shuffling: packed vs frozen scalar reference
+# ----------------------------------------------------------------------
+def _random_pairs(rng, shape, count) -> List[Tuple[Coord, Coord]]:
+    rows, cols = shape
+    cells = [(r, c) for r in range(rows) for c in range(cols)]
+    return [tuple(rng.sample(cells, 2)) for _ in range(count)]
+
+
+class TestPackedShufflerIdentity:
+    @pytest.mark.parametrize(
+        "shape", [(1, 12), (2, 9), (6, 6), (7, 4), (12, 1)]
+    )
+    @pytest.mark.parametrize("seed", range(4))
+    def test_try_route_random_occupancy(self, shape, seed):
+        """Same path (or same refusal) on random occupancy planes,
+        including the 1-row grids mapping never produces but shuffling
+        accepts."""
+        rng = random.Random(seed * 31 + shape[0] * 7 + shape[1])
+        rows, cols = shape
+        cells = [(r, c) for r in range(rows) for c in range(cols)]
+        blocked: Set[Coord] = set(
+            rng.sample(cells, rng.randrange(0, max(1, len(cells) // 3)))
+        )
+        packed = packed_shuffling.ShuffleLayer(shape=shape, used=set(blocked))
+        ref = reference_shuffling.ShuffleLayer(shape=shape, used=set(blocked))
+        for a, b in _random_pairs(rng, shape, 20):
+            if a == b:
+                continue
+            assert packed.try_route(a, b) == ref.try_route(a, b)
+        assert packed.used == ref.used
+        assert packed.paths == ref.paths
+
+    def test_try_route_after_external_used_mutation(self):
+        """``used`` is the public source of truth: cells added between
+        calls must be honoured (the packed mirror resyncs)."""
+        shape = (5, 5)
+        packed = packed_shuffling.ShuffleLayer(shape=shape)
+        ref = reference_shuffling.ShuffleLayer(shape=shape)
+        assert packed.try_route((0, 0), (0, 4)) == ref.try_route(
+            (0, 0), (0, 4)
+        )
+        for layer in (packed, ref):
+            layer.used.update({(2, c) for c in range(5)})  # wall row 2
+        assert packed.try_route((1, 0), (3, 0)) is None
+        assert ref.try_route((1, 0), (3, 0)) is None
+        assert packed.try_route((1, 0), (1, 4)) == ref.try_route(
+            (1, 0), (1, 4)
+        )
+
+    def test_route_impossible_pairs(self):
+        """Walled-off endpoints refuse identically (guards + BFS)."""
+        shape = (3, 7)
+        wall = {(r, 3) for r in range(3)}
+        packed = packed_shuffling.ShuffleLayer(shape=shape, used=set(wall))
+        ref = reference_shuffling.ShuffleLayer(shape=shape, used=set(wall))
+        assert packed.try_route((1, 0), (1, 6)) is None
+        assert ref.try_route((1, 0), (1, 6)) is None
+        # endpoint inside the wall
+        assert packed.try_route((0, 3), (1, 6)) is None
+        assert ref.try_route((0, 3), (1, 6)) is None
+        # 1-row grid with a single blocked cell between the endpoints
+        packed1 = packed_shuffling.ShuffleLayer(shape=(1, 6), used={(0, 2)})
+        ref1 = reference_shuffling.ShuffleLayer(shape=(1, 6), used={(0, 2)})
+        assert packed1.try_route((0, 0), (0, 5)) is None
+        assert ref1.try_route((0, 0), (0, 5)) is None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_connect_pairs_identical(self, seed):
+        """Dynamic layer allocation: same layers, fusions, and paths."""
+        rng = random.Random(900 + seed)
+        shape = (4, 5)
+        pairs = _random_pairs(rng, shape, 12) + [((1, 1), (1, 1))]
+        packed = packed_shuffling.connect_pairs(list(pairs), shape)
+        ref = reference_shuffling.connect_pairs(list(pairs), shape)
+        assert packed.fusions == ref.fusions
+        assert packed.connected == ref.connected
+        assert packed.num_layers == ref.num_layers
+        for lp, lr in zip(packed.layers, ref.layers):
+            assert lp.used == lr.used
+            assert lp.paths == lr.paths
+
+
+# ----------------------------------------------------------------------
+# parallel partition mapping == sequential compile
+# ----------------------------------------------------------------------
+def _program_signature(program):
+    return (
+        program.physical_depth,
+        program.num_fusions,
+        program.mapping_layers,
+        program.shuffle_layers,
+        program.resource_states_used,
+        program.deferred_pairs,
+        [
+            (
+                layout.index,
+                sorted(layout.node_at.items()),
+                sorted(layout.aux_cells),
+                sorted(map(tuple, layout.paths)),
+                sorted(layout.incomplete),
+            )
+            for layout in program.layouts
+        ],
+    )
+
+
+class TestParallelMappingEquivalence:
+    @pytest.mark.parametrize("use_hints", [True, False])
+    def test_map_jobs_matches_sequential(self, use_hints):
+        circuit = get_benchmark("QFT", 16, seed=7)
+        hardware = _hardware_for(16, THREE_LINE)
+        signatures = []
+        for jobs in (None, 2):
+            cfg = OneQConfig(
+                hardware=hardware,
+                use_placement_hints=use_hints,
+                map_jobs=jobs,
+            )
+            program = OneQCompiler(cfg).compile(circuit, name="QFT-16")
+            signatures.append(_program_signature(program))
+        assert signatures[0] == signatures[1]
