@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Serving benchmark: cold-vs-warm latency gate + load-cell sweep.
+
+Hosts a throwaway compile server (:class:`repro.serve.server.ServerThread`
+on an ephemeral port, fresh cache directory) and measures two things:
+
+1. **Cold/warm gate** — one cold QFT-36 compile, then the same request
+   repeated against the now-populated artifact store.  The warm average
+   must be at least ``WARM_SPEEDUP_GATE`` (10x) below the cold latency:
+   the whole point of the serving layer is that an already-compiled
+   circuit never pays compile cost again.  This gate runs in ``--quick``
+   mode too (one cold QFT-36 is well under a second).
+
+2. **Load cells** — the closed-loop generator from
+   :mod:`repro.serve.loadgen` sweeps (workload x concurrency) cells and
+   records the serving table (throughput_rps, avg/p50/p95/max latency,
+   failure_rate, cache_hit_rate per cell; see ``docs/serving.md`` for
+   the column definitions).  Gates: every cell must finish with
+   ``failure_rate == 0`` and the hot-workload cells (pure cache hits
+   after warm-up) must hold p95 latency under ``WARM_P95_GATE_MS``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serving.py [--quick]
+
+Writes ``benchmarks/BENCH_serving.json`` plus the serving table
+(``serving_table.json`` / ``serving_table.csv``) and exits non-zero
+when any gate fails.  ``--quick`` shrinks the sweep to 2 workloads x
+2 concurrency levels with a small request budget (the CI smoke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import tempfile
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.serve.client import CompileClient  # noqa: E402
+from repro.serve.loadgen import (  # noqa: E402
+    run_load,
+    render_cells,
+    write_serving_table,
+)
+from repro.serve.server import ServerThread  # noqa: E402
+
+WARM_SPEEDUP_GATE = 10.0
+WARM_P95_GATE_MS = 250.0
+
+#: hot workloads serve from cache after warm-up; the p95 gate applies
+_HOT_WORKLOADS = ("hot-qft16", "mixed-16", "qasm-bv12")
+
+FULL_WORKLOADS = ["hot-qft16", "mixed-16", "cold-seeds", "qasm-bv12"]
+FULL_CONCURRENCY = [1, 2, 4]
+QUICK_WORKLOADS = ["hot-qft16", "cold-seeds"]
+QUICK_CONCURRENCY = [1, 2]
+
+
+def measure_cold_warm(host: str, port: int, qubits: int, warm_requests: int):
+    """One cold compile of QFT-``qubits``, then warm repeats of it."""
+    request = {"op": "compile", "benchmark": "QFT", "qubits": qubits}
+    with CompileClient(host, port) as client:
+        t0 = time.perf_counter()
+        cold = client.request(request)
+        cold_seconds = time.perf_counter() - t0
+        if not cold.get("ok"):
+            raise RuntimeError(f"cold compile failed: {cold}")
+        if cold.get("cache_tier") is not None:
+            raise RuntimeError("cold request unexpectedly hit cache")
+
+        warm_seconds = []
+        for _ in range(warm_requests):
+            t0 = time.perf_counter()
+            warm = client.request(request)
+            warm_seconds.append(time.perf_counter() - t0)
+            if not warm.get("ok") or warm.get("cache_tier") is None:
+                raise RuntimeError(f"warm request missed cache: {warm}")
+            if warm["artifact"] != cold["artifact"]:
+                raise RuntimeError("warm artifact differs from cold")
+    return cold_seconds, warm_seconds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: 2 workloads x 2 concurrency levels, small "
+        "request budget (all gates still apply)",
+    )
+    parser.add_argument("--qubits", type=int, default=36,
+                        help="QFT size for the cold/warm gate")
+    parser.add_argument("--warm-requests", type=int, default=20,
+                        help="warm repeats for the cold/warm gate")
+    parser.add_argument("--requests", type=int, default=60,
+                        help="measured requests per load cell")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="compile worker processes")
+    parser.add_argument(
+        "--out", default=str(pathlib.Path(__file__).parent),
+        help="directory for BENCH_serving.json + serving_table.*",
+    )
+    args = parser.parse_args(argv)
+
+    workloads = QUICK_WORKLOADS if args.quick else FULL_WORKLOADS
+    concurrencies = QUICK_CONCURRENCY if args.quick else FULL_CONCURRENCY
+    requests = 10 if args.quick else args.requests
+
+    out_dir = pathlib.Path(args.out)
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as cache:
+        handle = ServerThread(workers=args.workers, cache_dir=cache).start()
+        try:
+            cold_seconds, warm_seconds = measure_cold_warm(
+                handle.host, handle.port, args.qubits, args.warm_requests
+            )
+            cells = run_load(
+                handle.host, handle.port, workloads, concurrencies, requests
+            )
+        finally:
+            handle.stop()
+
+    warm_avg = statistics.mean(warm_seconds)
+    warm_speedup = cold_seconds / max(warm_avg, 1e-12)
+    speedup_ok = warm_speedup >= WARM_SPEEDUP_GATE
+
+    failures_ok = all(cell.failure_rate == 0.0 for cell in cells)
+    hot_cells = [c for c in cells if c.workload in _HOT_WORKLOADS]
+    hot_p95_ms = max((c.p95_latency_ms for c in hot_cells), default=0.0)
+    p95_ok = hot_p95_ms < WARM_P95_GATE_MS
+
+    table_json, table_csv = write_serving_table(
+        cells, out_dir, stem="serving_table",
+        meta={
+            "requests_per_cell": requests,
+            "workers": args.workers,
+            "quick": args.quick,
+        },
+    )
+
+    payload = {
+        "schema_version": 1,
+        "label": "serving",
+        "quick": args.quick,
+        "workers": args.workers,
+        "cold_warm": {
+            "benchmark": f"QFT-{args.qubits}",
+            "cold_seconds": round(cold_seconds, 5),
+            "warm_avg_seconds": round(warm_avg, 6),
+            "warm_p95_seconds": round(
+                sorted(warm_seconds)[int(0.95 * (len(warm_seconds) - 1))], 6
+            ),
+            "warm_requests": len(warm_seconds),
+            "warm_speedup": round(warm_speedup, 1),
+            "speedup_gate": WARM_SPEEDUP_GATE,
+        },
+        "load": {
+            "workloads": list(workloads),
+            "concurrency": list(concurrencies),
+            "requests_per_cell": requests,
+            "cells": [
+                {k: (round(v, 4) if isinstance(v, float) else v)
+                 for k, v in cell.row().items()}
+                for cell in cells
+            ],
+        },
+        "gates": {
+            "warm_speedup_ok": speedup_ok,
+            "zero_failures_ok": failures_ok,
+            "hot_p95_ms": round(hot_p95_ms, 3),
+            "hot_p95_gate_ms": WARM_P95_GATE_MS,
+            "hot_p95_ok": p95_ok,
+        },
+    }
+    bench_path = out_dir / "BENCH_serving.json"
+    bench_path.write_text(json.dumps(payload, indent=1) + "\n")
+
+    print(
+        f"QFT-{args.qubits}: cold {cold_seconds:.3f}s, warm avg "
+        f"{warm_avg * 1000:.2f}ms over {len(warm_seconds)} requests "
+        f"-> {warm_speedup:.0f}x (gate: {WARM_SPEEDUP_GATE:.0f}x)"
+    )
+    print(render_cells(cells))
+    print(f"wrote {bench_path}, {table_json}, {table_csv}")
+
+    ok = True
+    if not speedup_ok:
+        print(
+            f"error: warm speedup {warm_speedup:.1f}x below the "
+            f"{WARM_SPEEDUP_GATE:.0f}x gate",
+            file=sys.stderr,
+        )
+        ok = False
+    if not failures_ok:
+        for cell in cells:
+            if cell.failure_rate > 0:
+                print(
+                    f"error: {cell.workload} x{cell.concurrency} recorded "
+                    f"failure_rate {cell.failure_rate:.3f}: "
+                    f"{cell.errors[:3]}",
+                    file=sys.stderr,
+                )
+        ok = False
+    if not p95_ok:
+        print(
+            f"error: hot-workload p95 {hot_p95_ms:.1f}ms above the "
+            f"{WARM_P95_GATE_MS:.0f}ms gate",
+            file=sys.stderr,
+        )
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

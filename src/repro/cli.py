@@ -13,6 +13,12 @@ Commands:
   resource-state coordinates (``BENCH_noise_sweep.json`` artifact);
 * ``lint``     — statically lint a compiled measurement pattern (flow
   determinism certificate + structural checks; exit 1 on errors);
+* ``serve``    — run the long-lived compile server (async socket
+  front-end + worker process pool + two-tier artifact store);
+* ``loadgen``  — drive a compile server with closed-loop load cells
+  and persist the serving table (``serving_table.csv`` +
+  ``BENCH_<label>.json``); ``--spawn`` hosts a throwaway server
+  in-process first;
 * ``export``   — emit a benchmark circuit as OpenQASM 2.0.
 """
 
@@ -255,6 +261,88 @@ def cmd_lint(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    from repro.serve.server import run_server
+
+    return run_server(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache,
+        memory_capacity=args.mem_capacity,
+    )
+
+
+def cmd_loadgen(args) -> int:
+    import json
+    import pathlib
+
+    from repro.serve.loadgen import (
+        render_cells,
+        run_load,
+        write_serving_table,
+    )
+
+    handle = None
+    host, port = args.host, args.port
+    if args.spawn:
+        from repro.serve.server import ServerThread
+
+        handle = ServerThread(
+            workers=args.workers, cache_dir=args.cache
+        ).start()
+        host, port = handle.host, handle.port
+        print(f"spawned server on {host}:{port}")
+    elif port is None:
+        print("error: --port is required without --spawn", file=sys.stderr)
+        return 2
+    try:
+        cells = run_load(
+            host, port, args.workloads, args.concurrency, args.requests
+        )
+    finally:
+        if handle is not None:
+            handle.stop()
+    print(render_cells(cells))
+    out_dir = pathlib.Path(args.out)
+    json_path, csv_path = write_serving_table(
+        cells,
+        out_dir,
+        stem=args.stem,
+        meta={
+            "requests_per_cell": args.requests,
+            "workloads": list(args.workloads),
+            "concurrency": list(args.concurrency),
+            "spawned": bool(args.spawn),
+        },
+    )
+    bench_path = out_dir / f"BENCH_{args.label}.json"
+    bench_path.write_text(
+        json.dumps(
+            {
+                "schema_version": 1,
+                "label": args.label,
+                "cells": [cell.row() for cell in cells],
+            },
+            indent=1,
+        )
+    )
+    print(f"serving table: {json_path}")
+    print(f"serving csv:   {csv_path}")
+    print(f"bench:         {bench_path}")
+    failed = [cell for cell in cells if cell.failure_rate > 0]
+    if failed:
+        for cell in failed:
+            print(
+                f"error: {cell.workload} x{cell.concurrency}: "
+                f"failure_rate={cell.failure_rate:.3f} "
+                f"({'; '.join(cell.errors[:3])})",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def cmd_noise_sweep(args) -> int:
     import pathlib
 
@@ -378,6 +466,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "serve",
+        help="run the compile server: accepts circuits (library spec or "
+        "QASM) over a length-prefixed JSON socket protocol, compiles on "
+        "a worker process pool, caches artifacts in a two-tier "
+        "(memory LRU + disk) store",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=7711,
+        help="TCP port (0 binds an ephemeral port)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="compile worker processes (default: min(4, cpu_count))",
+    )
+    p.add_argument("--cache", default=None, help="artifact store disk dir")
+    p.add_argument(
+        "--mem-capacity", type=int, default=256,
+        help="in-memory LRU tier capacity (artifacts)",
+    )
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a compile server with (workload x concurrency) "
+        "closed-loop load cells and persist the serving table "
+        "(throughput_rps / avg / p95 latency / failure_rate / "
+        "cache_hit_rate per cell); exit 1 when any cell records "
+        "failures",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=None,
+        help="server port (required unless --spawn)",
+    )
+    p.add_argument(
+        "--spawn", action="store_true",
+        help="host a throwaway in-process server on an ephemeral port "
+        "for the duration of the run",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the spawned server",
+    )
+    p.add_argument(
+        "--cache", default=None, help="cache dir for the spawned server"
+    )
+    p.add_argument(
+        "--workloads", nargs="+",
+        default=["hot-qft16", "mixed-16"],
+        choices=["hot-qft16", "mixed-16", "cold-seeds", "qasm-bv12"],
+        help="workload generators to sweep",
+    )
+    p.add_argument(
+        "--concurrency", type=int, nargs="+", default=[1, 4],
+        help="closed-loop client counts to sweep",
+    )
+    p.add_argument(
+        "--requests", type=int, default=50,
+        help="measured requests per cell",
+    )
+    p.add_argument(
+        "--out", default="benchmarks/results", help="artifact directory"
+    )
+    p.add_argument("--stem", default="serving_table", help="table file stem")
+    p.add_argument(
+        "--label", default="serving", help="BENCH_<label>.json name"
+    )
+
+    p = sub.add_parser(
         "noise-sweep",
         help="Monte-Carlo yield sweep across noise and hardware "
         "coordinates (Clifford benchmarks sample on the stabilizer "
@@ -443,6 +600,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_noise_sweep(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "loadgen":
+        return cmd_loadgen(args)
     return cmd_table(args, args.command)
 
 

@@ -6,9 +6,10 @@ configuration at a time.  This module adds the production layer on top:
 * :class:`RunSpec` — one hashable experiment coordinate (benchmark,
   qubits, hardware, compiler knobs);
 * :class:`BatchRunner` — fans specs across ``multiprocessing`` workers,
-  memoizes results on disk keyed by the spec's content hash (compiles
-  are deterministic, so a cache hit is exact), and returns
-  :class:`RunRecord` rows;
+  memoizes results in a two-tier artifact store
+  (:class:`repro.serve.store.ArtifactStore`: in-memory LRU over atomic
+  content-hash-keyed disk files; compiles are deterministic, so a cache
+  hit is exact), and returns :class:`RunRecord` rows;
 * run-table artifacts — every batch can be persisted as machine-readable
   JSON + CSV (one row per run, schema in ``RUN_TABLE_COLUMNS``), the
   convention the paper-adjacent replication repos use for all analysis;
@@ -28,7 +29,9 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-SCHEMA_VERSION = 7
+from repro.serve.store import ArtifactStore
+
+SCHEMA_VERSION = 8
 
 #: Run-table columns, in on-disk CSV order.  Meanings:
 #:   key                 content hash of the spec (cache identity)
@@ -74,7 +77,14 @@ SCHEMA_VERSION = 7
 #:   mc_engine   sampler execution path (v4, "frame" added in v5):
 #:       "frame" bit-packed Pauli frames (default), "batched" chunked
 #:       tableau, or the "per-shot" reference; None when no sampling ran
-#:   cached    True when the row came from the on-disk cache
+#:   cached    True when the row came from the artifact store
+#:   cache_tier   which store tier served a cached row (v8): "memory"
+#:       (in-process LRU) or "disk" (content-hash JSON file); empty for
+#:       freshly computed rows
+#:   cache_age_seconds   seconds between the cached artifact's original
+#:       compute and this read (v8; empty for fresh rows) — the honest
+#:       companion to ``seconds``, which for cached rows reports the
+#:       *original* run's timing, not this invocation's
 RUN_TABLE_COLUMNS: List[str] = [
     "key",
     "benchmark",
@@ -126,6 +136,8 @@ RUN_TABLE_COLUMNS: List[str] = [
     "shots_per_second",
     "mc_engine",
     "cached",
+    "cache_tier",
+    "cache_age_seconds",
 ]
 
 #: compile stages reported by ``CompiledProgram.stage_seconds``, in
@@ -241,6 +253,8 @@ class RunRecord:
     shots_per_second: Optional[float] = None
     mc_engine: Optional[str] = None
     cached: bool = False
+    cache_tier: Optional[str] = None
+    cache_age_seconds: Optional[float] = None
 
     @property
     def label(self) -> str:
@@ -415,50 +429,62 @@ class BatchRunner:
     """Run grids of :class:`RunSpec` with caching and multiprocessing.
 
     ``jobs=None`` picks ``min(cpu_count, #specs)``; ``jobs=1`` stays
-    in-process (useful under pytest).  ``cache_dir`` enables the on-disk
-    memo: one JSON file per spec hash, reused across runner instances.
+    in-process (useful under pytest).  ``cache_dir`` enables the
+    artifact store (:class:`repro.serve.store.ArtifactStore`): an
+    in-memory LRU over one atomic JSON file per spec hash, shared
+    across runner instances and concurrent processes.  Writes are
+    atomic (temp file + ``os.replace``) and torn/corrupt cache files
+    read as misses — the spec recomputes and overwrites the bad entry.
     """
 
     def __init__(
         self,
         jobs: Optional[int] = None,
         cache_dir: Optional[pathlib.Path] = None,
+        memory_capacity: int = 256,
     ):
         self.jobs = jobs
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir else None
+        self.store: Optional[ArtifactStore] = (
+            ArtifactStore(
+                cache_dir=self.cache_dir,
+                memory_capacity=memory_capacity,
+                schema_version=SCHEMA_VERSION,
+            )
+            if self.cache_dir is not None
+            else None
+        )
 
     # -- cache ---------------------------------------------------------
     def _cache_path(self, spec: RunSpec) -> Optional[pathlib.Path]:
-        if self.cache_dir is None:
+        if self.store is None:
             return None
-        return self.cache_dir / f"{spec.key()}.json"
+        return self.store.disk_path(spec.key())
 
     def _load_cached(self, spec: RunSpec) -> Optional[RunRecord]:
-        path = self._cache_path(spec)
-        if path is None or not path.exists():
+        if self.store is None:
+            return None
+        hit = self.store.get(spec.key())
+        if hit is None:
             return None
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
-        if payload.pop("schema_version", None) != SCHEMA_VERSION:
-            return None
-        try:
-            record = RunRecord(**payload)
-        except TypeError:
+            record = RunRecord(**hit.artifact)
+        except TypeError:  # column drift within one schema version
             return None
         record.cached = True
+        record.cache_tier = hit.tier
+        record.cache_age_seconds = round(hit.age_seconds, 3)
         return record
 
     def _store(self, record: RunRecord, spec: RunSpec) -> None:
-        path = self._cache_path(spec)
-        if path is None:
+        if self.store is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = asdict(record)
+        # cache provenance describes a *read*, never the stored artifact
         payload["cached"] = False
-        payload["schema_version"] = SCHEMA_VERSION
-        path.write_text(json.dumps(payload, indent=1, default=str))
+        payload["cache_tier"] = None
+        payload["cache_age_seconds"] = None
+        self.store.put(spec.key(), payload)
 
     # -- execution -----------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
@@ -569,9 +595,11 @@ def write_bench_json(
             "fusions": record.num_fusions,
             "mapping_layers": record.mapping_layers,
             "shuffle_layers": record.shuffle_layers,
-            # stale-timing marker: a cached row's seconds are from the
-            # run that originally produced it, not this invocation
+            # stale-timing markers: a cached row's seconds are from the
+            # run that originally produced it, not this invocation —
+            # cache_age_seconds says how stale (None: computed fresh)
             "cached": record.cached,
+            "cache_age_seconds": record.cache_age_seconds,
         }
     payload: Dict = {
         "schema_version": SCHEMA_VERSION,
@@ -713,6 +741,7 @@ def write_noise_sweep_json(
             "depth": record.depth,
             "fusions": record.num_fusions,
             "cached": record.cached,
+            "cache_age_seconds": record.cache_age_seconds,
         }
     payload = {
         "schema_version": SCHEMA_VERSION,

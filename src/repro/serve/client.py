@@ -1,0 +1,86 @@
+"""Blocking client for the compile server's socket protocol.
+
+One :class:`CompileClient` owns one TCP connection and issues one
+request at a time (the protocol is strictly request/response per
+connection; open more clients for concurrency — the load generator
+opens one per simulated user).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from repro.serve.protocol import (
+    MAX_PAYLOAD_BYTES,
+    recv_frame,
+    send_frame,
+)
+
+
+class ServerClosedError(ConnectionError):
+    """The server closed the connection instead of responding."""
+
+
+class CompileClient:
+    """Synchronous request/response client.
+
+    ::
+
+        with CompileClient("127.0.0.1", 7711) as client:
+            response = client.compile(benchmark="QFT", qubits=16)
+            assert response["ok"]
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7711,
+        timeout: Optional[float] = 120.0,
+        max_payload: int = MAX_PAYLOAD_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_payload = max_payload
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # -- raw request/response ------------------------------------------
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame, block for one response frame."""
+        send_frame(self._sock, payload)
+        response = recv_frame(self._sock, self.max_payload)
+        if response is None:
+            raise ServerClosedError(
+                "server closed the connection without responding"
+            )
+        return response
+
+    # -- convenience ops -----------------------------------------------
+    def compile(self, **fields: Any) -> Dict[str, Any]:
+        payload = {"op": "compile"}
+        payload.update(fields)
+        return self.request(payload)
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("ok"))
+
+    def stats(self) -> Dict[str, Any]:
+        response = self.request({"op": "stats"})
+        return response.get("stats", {})
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to drain and exit."""
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "CompileClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

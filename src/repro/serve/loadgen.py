@@ -1,0 +1,406 @@
+"""Closed-loop load generator + serving run-table artifacts.
+
+Drives a running compile server the way a microservice benchmark would
+(the mubench-style methodology: committed ``run_table.csv`` with one
+row per experiment cell): for each **(workload, concurrency)** cell,
+``concurrency`` threads each own one client connection and issue
+requests back-to-back (closed loop — a new request starts only when the
+previous response lands) until the cell's request budget is spent.
+
+Per cell the harness records :data:`SERVING_TABLE_COLUMNS`:
+
+    workload          workload name (see WORKLOADS)
+    concurrency       closed-loop client count
+    requests          completed requests in the cell
+    warmup_requests   untimed requests issued before measurement (one
+                      per distinct circuit, so steady-state cells
+                      measure serving, not first-compile cost)
+    seconds           measurement wall-clock for the whole cell
+    throughput_rps    requests / seconds
+    avg_latency_ms    mean per-request latency
+    p50_latency_ms    median per-request latency
+    p95_latency_ms    95th-percentile per-request latency
+    max_latency_ms    worst single request
+    failure_rate      fraction of requests with ok=False (or transport
+                      errors); 0.0 is the CI gate
+    cache_hit_rate    fraction of successful requests served from the
+                      artifact store ("memory"/"disk") or joined onto
+                      an in-flight identical compile ("inflight")
+
+Workloads are request generators: ``index -> request dict``.  The
+built-ins cover the serving regimes that matter:
+
+* ``hot-qft16``   — every request is the same QFT-16 compile: after
+  warm-up, pure memory-tier hits (peak cache throughput);
+* ``mixed-16``    — rotates the four Table-2 benchmarks at 16 qubits:
+  a small hot set exercising LRU recency;
+* ``cold-seeds``  — BV-12 with a fresh seed per request: every request
+  misses and compiles (worker-pool throughput floor);
+* ``qasm-bv12``   — the same BV-12 circuit submitted as QASM text:
+  exercises the parse + hash + cache path for user-supplied circuits.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.client import CompileClient
+
+SERVING_SCHEMA_VERSION = 1
+
+SERVING_TABLE_COLUMNS: List[str] = [
+    "workload",
+    "concurrency",
+    "requests",
+    "warmup_requests",
+    "seconds",
+    "throughput_rps",
+    "avg_latency_ms",
+    "p50_latency_ms",
+    "p95_latency_ms",
+    "max_latency_ms",
+    "failure_rate",
+    "cache_hit_rate",
+]
+
+
+def _qasm_bv12() -> str:
+    from repro.circuit import get_benchmark
+    from repro.circuit.qasm import to_qasm
+
+    return to_qasm(get_benchmark("BV", 12, seed=7))
+
+
+_MIXED_BENCHMARKS = ("QFT", "QAOA", "RCA", "BV")
+
+
+class Workload:
+    """A named request generator with a warm-up prefix.
+
+    ``distinct`` is how many unique artifacts the workload touches —
+    the warm-up issues exactly one request per distinct artifact so the
+    measured phase starts from a populated cache.  Cold workloads set
+    ``distinct=0``: nothing is warmable, every measured request misses.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        make_request: Callable[[int], Dict[str, Any]],
+        distinct: int,
+        description: str,
+    ) -> None:
+        self.name = name
+        self.make_request = make_request
+        self.distinct = distinct
+        self.description = description
+
+
+def _hot_qft16(index: int) -> Dict[str, Any]:
+    return {"op": "compile", "benchmark": "QFT", "qubits": 16}
+
+
+def _mixed_16(index: int) -> Dict[str, Any]:
+    name = _MIXED_BENCHMARKS[index % len(_MIXED_BENCHMARKS)]
+    return {"op": "compile", "benchmark": name, "qubits": 16}
+
+
+class _ColdSeeds:
+    """BV-12 with a seed nobody has compiled before.
+
+    Seeds are namespaced by a per-cell epoch so that later cells in a
+    grid stay cold even though every cell shares one server cache:
+    without the epoch, cell two would replay cell one's seeds and
+    measure cache hits instead of the compile floor.
+    """
+
+    def __init__(self) -> None:
+        self.epoch = 0
+
+    def begin_cell(self) -> None:
+        self.epoch += 1
+
+    def __call__(self, index: int) -> Dict[str, Any]:
+        return {
+            "op": "compile", "benchmark": "BV", "qubits": 12,
+            "seed": self.epoch * 1_000_000 + index,
+        }
+
+
+class _QasmBV12:
+    """Lazily render the QASM text once, reuse it per request."""
+
+    def __init__(self) -> None:
+        self._text: Optional[str] = None
+
+    def __call__(self, index: int) -> Dict[str, Any]:
+        if self._text is None:
+            self._text = _qasm_bv12()
+        return {"op": "compile", "qasm": self._text, "name": "bv12"}
+
+
+WORKLOADS: Dict[str, Workload] = {
+    workload.name: workload
+    for workload in (
+        Workload(
+            "hot-qft16", _hot_qft16, distinct=1,
+            description="one hot QFT-16 artifact; steady state is pure "
+            "memory-tier cache hits",
+        ),
+        Workload(
+            "mixed-16", _mixed_16, distinct=len(_MIXED_BENCHMARKS),
+            description="rotates QFT/QAOA/RCA/BV at 16 qubits; a small "
+            "hot set inside LRU capacity",
+        ),
+        Workload(
+            "cold-seeds", _ColdSeeds(), distinct=0,
+            description="BV-12 with a fresh seed every request; every "
+            "request compiles (cache-miss floor)",
+        ),
+        Workload(
+            "qasm-bv12", _QasmBV12(), distinct=1,
+            description="the same BV-12 circuit as QASM text; parse + "
+            "hash + cache path for user-supplied circuits",
+        ),
+    )
+}
+
+#: response cache_tier values that count as served-without-compiling
+_HIT_TIERS = ("memory", "disk", "inflight")
+
+
+@dataclass
+class CellResult:
+    """One (workload, concurrency) load cell (a serving-table row)."""
+
+    workload: str
+    concurrency: int
+    requests: int
+    warmup_requests: int
+    seconds: float
+    throughput_rps: float
+    avg_latency_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    max_latency_ms: float
+    failure_rate: float
+    cache_hit_rate: float
+    errors: List[str] = field(default_factory=list)
+
+    def row(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload.pop("errors")
+        return payload
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in [0, 1]) of *values*."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def run_cell(
+    host: str,
+    port: int,
+    workload: Workload,
+    concurrency: int,
+    requests: int,
+    timeout: float = 120.0,
+) -> CellResult:
+    """Drive one load cell and aggregate its serving-table row."""
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    begin_cell = getattr(workload.make_request, "begin_cell", None)
+    if begin_cell is not None:  # cold workloads re-seed per cell
+        begin_cell()
+    warmup = 0
+    if workload.distinct > 0:
+        with CompileClient(host, port, timeout=timeout) as client:
+            for index in range(workload.distinct):
+                client.request(workload.make_request(index))
+                warmup += 1
+
+    counter = {"next": 0}
+    counter_lock = threading.Lock()
+    latencies: List[float] = []
+    hits = 0
+    failures = 0  # error responses + transport errors
+    transport_failures = 0  # subset of failures with no latency sample
+    errors: List[str] = []
+    results_lock = threading.Lock()
+    start_barrier = threading.Barrier(concurrency + 1)
+
+    def worker() -> None:
+        nonlocal hits, failures, transport_failures
+        local_latencies: List[float] = []
+        local_hits = 0
+        local_failures = 0
+        local_transport = 0
+        local_errors: List[str] = []
+        try:
+            client = CompileClient(host, port, timeout=timeout)
+        except OSError as exc:
+            start_barrier.wait()
+            with results_lock:
+                failures += 1
+                transport_failures += 1
+                errors.append(f"connect: {exc}")
+            return
+        start_barrier.wait()
+        try:
+            while True:
+                with counter_lock:
+                    index = counter["next"]
+                    if index >= requests:
+                        break
+                    counter["next"] = index + 1
+                payload = workload.make_request(index)
+                t0 = time.perf_counter()
+                try:
+                    response = client.request(payload)
+                except (OSError, ConnectionError) as exc:
+                    local_failures += 1
+                    local_transport += 1
+                    local_errors.append(f"request {index}: {exc}")
+                    continue
+                local_latencies.append(time.perf_counter() - t0)
+                if not response.get("ok"):
+                    local_failures += 1
+                    error = response.get("error", {})
+                    local_errors.append(
+                        f"request {index}: {error.get('code')}: "
+                        f"{error.get('message')}"
+                    )
+                elif response.get("cache_tier") in _HIT_TIERS:
+                    local_hits += 1
+        finally:
+            client.close()
+        with results_lock:
+            latencies.extend(local_latencies)
+            hits += local_hits
+            failures += local_failures
+            transport_failures += local_transport
+            errors.extend(local_errors)
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - t0
+
+    completed = len(latencies)
+    attempts = completed + transport_failures
+    latencies_ms = [value * 1000.0 for value in latencies]
+    return CellResult(
+        workload=workload.name,
+        concurrency=concurrency,
+        requests=completed,
+        warmup_requests=warmup,
+        seconds=seconds,
+        throughput_rps=completed / seconds if seconds > 0 else 0.0,
+        avg_latency_ms=(
+            sum(latencies_ms) / completed if latencies_ms else 0.0
+        ),
+        p50_latency_ms=percentile(latencies_ms, 0.50),
+        p95_latency_ms=percentile(latencies_ms, 0.95),
+        max_latency_ms=max(latencies_ms) if latencies_ms else 0.0,
+        failure_rate=failures / max(1, attempts),
+        cache_hit_rate=hits / max(1, completed),
+        errors=errors,
+    )
+
+
+def run_load(
+    host: str,
+    port: int,
+    workloads: Sequence[str],
+    concurrencies: Sequence[int],
+    requests: int,
+    timeout: float = 120.0,
+) -> List[CellResult]:
+    """Run the full (workload x concurrency) grid, one cell at a time."""
+    cells: List[CellResult] = []
+    for name in workloads:
+        if name not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {name!r}; known: "
+                f"{', '.join(sorted(WORKLOADS))}"
+            )
+        for concurrency in concurrencies:
+            cells.append(
+                run_cell(
+                    host, port, WORKLOADS[name], concurrency, requests,
+                    timeout=timeout,
+                )
+            )
+    return cells
+
+
+def write_serving_table(
+    cells: Sequence[CellResult],
+    out_dir: pathlib.Path,
+    stem: str = "serving_table",
+    meta: Optional[Dict[str, Any]] = None,
+) -> Tuple[pathlib.Path, pathlib.Path]:
+    """Persist *cells* as ``<stem>.json`` + ``<stem>.csv`` in *out_dir*."""
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    rows = [
+        {
+            col: (round(v, 4) if isinstance(v, float) else v)
+            for col, v in cell.row().items()
+        }
+        for cell in cells
+    ]
+    json_path = out_dir / f"{stem}.json"
+    json_path.write_text(
+        json.dumps(
+            {
+                "schema_version": SERVING_SCHEMA_VERSION,
+                "columns": SERVING_TABLE_COLUMNS,
+                "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "meta": meta or {},
+                "cells": rows,
+            },
+            indent=1,
+        )
+    )
+    csv_path = out_dir / f"{stem}.csv"
+    with csv_path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=SERVING_TABLE_COLUMNS)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({col: row.get(col) for col in SERVING_TABLE_COLUMNS})
+    return json_path, csv_path
+
+
+def render_cells(cells: Sequence[CellResult]) -> str:
+    """Terminal table of load cells (one line per cell)."""
+    header = (
+        f"{'workload':<12}{'conc':>5}{'reqs':>6}{'rps':>9}"
+        f"{'avg ms':>9}{'p95 ms':>9}{'fail':>7}{'hit':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for cell in cells:
+        lines.append(
+            f"{cell.workload:<12}{cell.concurrency:>5}{cell.requests:>6}"
+            f"{cell.throughput_rps:>9.1f}{cell.avg_latency_ms:>9.2f}"
+            f"{cell.p95_latency_ms:>9.2f}{cell.failure_rate:>7.3f}"
+            f"{cell.cache_hit_rate:>6.2f}"
+        )
+    return "\n".join(lines)

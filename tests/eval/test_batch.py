@@ -414,3 +414,72 @@ class TestStageProfile:
         assert second[0].cached
         assert second[0].verified is True
         assert second[0].verify_method == "stabilizer"
+
+
+class TestCacheTiers:
+    """The ISSUE-8 cache satellites: torn-file recovery, tier/age
+    provenance columns, and tmp-file hygiene."""
+
+    def test_torn_cache_file_is_a_miss_and_gets_repaired(self, tmp_path):
+        """A partially-written cache entry (as left by a crash mid-write
+        before atomic replace existed) must read as a miss, recompute,
+        and be overwritten with a complete entry."""
+        spec = RunSpec("BV", 8)
+        fresh = BatchRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        path = tmp_path / f"{spec.key()}.json"
+        complete = path.read_text()
+        path.write_text(complete[: len(complete) // 2])  # tear the file
+
+        repaired = BatchRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        assert not repaired[0].cached  # the torn entry was not trusted
+        assert repaired[0].depth == fresh[0].depth
+        # the recompute overwrote the torn entry with a parseable one
+        assert json.loads(path.read_text())["artifact"]["depth"] == fresh[0].depth
+        third = BatchRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        assert third[0].cached
+
+    def test_fresh_and_cached_rows_are_distinguishable(self, tmp_path):
+        spec = RunSpec("BV", 8)
+        fresh = BatchRunner(jobs=1, cache_dir=tmp_path).run([spec])[0]
+        assert fresh.cached is False
+        assert fresh.cache_tier is None
+        assert fresh.cache_age_seconds is None
+
+        cached = BatchRunner(jobs=1, cache_dir=tmp_path).run([spec])[0]
+        assert cached.cached is True
+        assert cached.cache_tier == "disk"  # new runner: memory tier is cold
+        assert cached.cache_age_seconds >= 0.0
+
+    def test_memory_tier_hit_within_one_runner(self, tmp_path):
+        spec = RunSpec("BV", 8)
+        runner = BatchRunner(jobs=1, cache_dir=tmp_path)
+        runner.run([spec])
+        again = runner.run([spec])[0]
+        assert again.cached is True
+        assert again.cache_tier == "memory"
+
+    def test_cache_columns_flow_into_artifacts(self, tmp_path):
+        spec = RunSpec("BV", 8)
+        BatchRunner(jobs=1, cache_dir=tmp_path / "cache").run([spec])
+        cached = BatchRunner(jobs=1, cache_dir=tmp_path / "cache").run([spec])
+
+        assert "cache_tier" in RUN_TABLE_COLUMNS
+        assert "cache_age_seconds" in RUN_TABLE_COLUMNS
+        _, csv_path = write_run_table(cached, tmp_path)
+        with csv_path.open() as handle:
+            row = next(iter(csv.DictReader(handle)))
+        assert row["cached"] == "True"
+        assert row["cache_tier"] == "disk"
+        assert float(row["cache_age_seconds"]) >= 0.0
+
+        bench = write_bench_json(cached, tmp_path / "BENCH_c.json", "c")
+        run = json.loads(bench.read_text())["runs"]["BV-8"]
+        assert run["cached"] is True
+        assert run["cache_age_seconds"] >= 0.0
+
+    def test_no_tmp_files_left_in_cache_dir(self, tmp_path):
+        BatchRunner(jobs=1, cache_dir=tmp_path).run(
+            [RunSpec(n, q) for n, q in QUICK]
+        )
+        leftovers = [p.name for p in tmp_path.iterdir() if "tmp" in p.name]
+        assert leftovers == []

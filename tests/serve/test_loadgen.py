@@ -1,0 +1,201 @@
+"""Tests for the closed-loop load generator and serving-table artifacts."""
+
+import csv
+import json
+
+import pytest
+
+from repro.serve.loadgen import (
+    SERVING_SCHEMA_VERSION,
+    SERVING_TABLE_COLUMNS,
+    WORKLOADS,
+    CellResult,
+    Workload,
+    percentile,
+    render_cells,
+    run_cell,
+    run_load,
+    write_serving_table,
+)
+from repro.serve.server import ServerThread
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.95) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_nearest_rank(self):
+        values = list(range(1, 101))  # 1..100
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 0.5) == 51  # round(0.5 * 99) = 50
+        assert percentile(values, 1.0) == 100
+
+    def test_order_independent(self):
+        assert percentile([5.0, 1.0, 3.0], 1.0) == 5.0
+        assert percentile([5.0, 1.0, 3.0], 0.0) == 1.0
+
+
+class TestWorkloads:
+    def test_registry_names(self):
+        assert set(WORKLOADS) == {
+            "hot-qft16", "mixed-16", "cold-seeds", "qasm-bv12"
+        }
+
+    def test_hot_workload_is_constant(self):
+        hot = WORKLOADS["hot-qft16"]
+        assert hot.distinct == 1
+        assert hot.make_request(0) == hot.make_request(99)
+
+    def test_mixed_rotates_benchmarks(self):
+        mixed = WORKLOADS["mixed-16"]
+        names = {mixed.make_request(i)["benchmark"] for i in range(8)}
+        assert names == {"QFT", "QAOA", "RCA", "BV"}
+        assert mixed.distinct == 4
+
+    def test_cold_seeds_are_distinct(self):
+        cold = WORKLOADS["cold-seeds"]
+        assert cold.distinct == 0  # nothing is warmable
+        assert cold.make_request(0) != cold.make_request(1)
+
+    def test_cold_seeds_stay_cold_across_cells(self):
+        cold = WORKLOADS["cold-seeds"]
+        before = cold.make_request(0)["seed"]
+        cold.make_request.begin_cell()  # what run_cell does per cell
+        after = cold.make_request(0)["seed"]
+        assert after != before  # a new cell never replays old seeds
+
+    def test_qasm_workload_round_trips(self):
+        request = WORKLOADS["qasm-bv12"].make_request(0)
+        assert request["op"] == "compile"
+        assert request["qasm"].startswith("OPENQASM")
+        # lazy text is rendered once and reused
+        assert request["qasm"] is WORKLOADS["qasm-bv12"].make_request(1)["qasm"]
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    handle = ServerThread(
+        workers=2, cache_dir=tmp_path_factory.mktemp("loadgen-cache")
+    ).start()
+    yield handle
+    handle.stop()
+
+
+class TestRunCell:
+    def test_hot_cell_all_hits_after_warmup(self, server):
+        cell = run_cell(
+            server.host, server.port, WORKLOADS["hot-qft16"],
+            concurrency=2, requests=8,
+        )
+        assert cell.requests == 8
+        assert cell.warmup_requests == 1
+        assert cell.failure_rate == 0.0
+        assert cell.cache_hit_rate == 1.0  # warmed: every request hits
+        assert cell.errors == []
+        assert cell.throughput_rps > 0
+        assert cell.avg_latency_ms > 0
+        assert cell.p50_latency_ms <= cell.p95_latency_ms <= cell.max_latency_ms
+
+    def test_single_worker_cell(self, server):
+        cell = run_cell(
+            server.host, server.port, WORKLOADS["qasm-bv12"],
+            concurrency=1, requests=3,
+        )
+        assert cell.requests == 3
+        assert cell.failure_rate == 0.0
+
+    def test_failure_accounting_with_bad_requests(self, server):
+        """Error responses count as failures but keep latency samples."""
+        bad = Workload(
+            "bad", lambda i: {"op": "compile", "benchmark": "NOPE"},
+            distinct=0, description="always invalid",
+        )
+        cell = run_cell(server.host, server.port, bad,
+                        concurrency=2, requests=6)
+        assert cell.requests == 6  # every request got a (error) response
+        assert cell.failure_rate == 1.0
+        assert cell.cache_hit_rate == 0.0
+        assert len(cell.errors) == 6
+        assert all("bad-request" in e for e in cell.errors)
+
+    def test_connection_refused_counts_as_transport_failure(self):
+        cell = run_cell(
+            "127.0.0.1", 1,  # nothing listens on port 1
+            WORKLOADS["cold-seeds"], concurrency=2, requests=4,
+        )
+        assert cell.requests == 0
+        assert cell.failure_rate == 1.0
+        assert len(cell.errors) == 2  # one connect error per worker
+        assert all("connect" in e for e in cell.errors)
+
+    def test_concurrency_must_be_positive(self, server):
+        with pytest.raises(ValueError):
+            run_cell(server.host, server.port, WORKLOADS["hot-qft16"],
+                     concurrency=0, requests=1)
+
+
+class TestRunLoad:
+    def test_grid_shape_and_order(self, server):
+        cells = run_load(
+            server.host, server.port,
+            workloads=["hot-qft16", "qasm-bv12"],
+            concurrencies=[1, 2], requests=4,
+        )
+        assert [(c.workload, c.concurrency) for c in cells] == [
+            ("hot-qft16", 1), ("hot-qft16", 2),
+            ("qasm-bv12", 1), ("qasm-bv12", 2),
+        ]
+        assert all(c.failure_rate == 0.0 for c in cells)
+
+    def test_unknown_workload_rejected(self, server):
+        with pytest.raises(ValueError) as excinfo:
+            run_load(server.host, server.port,
+                     workloads=["nope"], concurrencies=[1], requests=1)
+        assert "unknown workload" in str(excinfo.value)
+
+
+def _cell(workload="hot-qft16", concurrency=1):
+    return CellResult(
+        workload=workload, concurrency=concurrency, requests=10,
+        warmup_requests=1, seconds=0.5, throughput_rps=20.0,
+        avg_latency_ms=1.25, p50_latency_ms=1.0, p95_latency_ms=3.0,
+        max_latency_ms=4.0, failure_rate=0.0, cache_hit_rate=1.0,
+    )
+
+
+class TestServingTableArtifacts:
+    def test_json_and_csv_carry_all_columns(self, tmp_path):
+        cells = [_cell(), _cell(concurrency=4)]
+        json_path, csv_path = write_serving_table(
+            cells, tmp_path, meta={"requests": 10}
+        )
+        payload = json.loads(json_path.read_text())
+        assert payload["schema_version"] == SERVING_SCHEMA_VERSION
+        assert payload["columns"] == SERVING_TABLE_COLUMNS
+        assert payload["meta"] == {"requests": 10}
+        assert len(payload["cells"]) == 2
+        for row in payload["cells"]:
+            assert list(row) == SERVING_TABLE_COLUMNS
+
+        with csv_path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert list(rows[0]) == SERVING_TABLE_COLUMNS
+        assert rows[0]["workload"] == "hot-qft16"
+        assert float(rows[1]["concurrency"]) == 4
+
+    def test_row_excludes_error_detail(self):
+        cell = _cell()
+        cell.errors.append("request 3: boom")
+        assert "errors" not in cell.row()
+        assert set(cell.row()) == set(SERVING_TABLE_COLUMNS)
+
+    def test_render_cells_lists_every_cell(self):
+        text = render_cells([_cell(), _cell(workload="mixed-16")])
+        assert "hot-qft16" in text
+        assert "mixed-16" in text
+        assert len(text.splitlines()) == 4  # header + rule + 2 cells

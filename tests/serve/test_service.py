@@ -1,0 +1,214 @@
+"""Tests for the in-process CompileService and request normalization."""
+
+import threading
+
+import pytest
+
+from repro.serve.service import (
+    CompileService,
+    RequestError,
+    job_key,
+    normalize_request,
+)
+
+
+class TestNormalizeRequest:
+    def test_benchmark_defaults_applied(self):
+        job = normalize_request({"op": "compile", "benchmark": "QFT"})
+        assert job["benchmark"] == "QFT"
+        assert job["qubits"] == 16
+        assert job["seed"] == 7
+        assert job["resource_state"] == "3-line"
+        assert job["shots"] == 0
+        assert job["mc_engine"] == "frame"
+        assert job["verify"] is False
+
+    def test_equivalent_requests_share_a_key(self):
+        explicit = normalize_request(
+            {"op": "compile", "benchmark": "QFT", "qubits": 16, "seed": 7}
+        )
+        defaulted = normalize_request({"op": "compile", "benchmark": "QFT"})
+        assert job_key(explicit) == job_key(defaulted)
+
+    def test_key_sensitive_to_every_axis(self):
+        base = normalize_request({"op": "compile", "benchmark": "QFT"})
+        for override in (
+            {"qubits": 17},
+            {"seed": 8},
+            {"resource_state": "4-star"},
+            {"shots": 100},
+            {"noise": {"cycle_loss": 0.01}},
+            {"verify": True},
+            {"mc_engine": "batched"},
+        ):
+            other = normalize_request(
+                {"op": "compile", "benchmark": "QFT", **override}
+            )
+            assert job_key(other) != job_key(base), override
+
+    def test_qasm_form(self):
+        job = normalize_request(
+            {"op": "compile", "qasm": "OPENQASM 2.0;", "name": "mine"}
+        )
+        assert job["qasm"] == "OPENQASM 2.0;"
+        assert job["name"] == "mine"
+        assert "benchmark" not in job
+
+    @pytest.mark.parametrize(
+        "request_payload",
+        [
+            {},  # neither qasm nor benchmark
+            {"benchmark": "QFT", "qasm": "x"},  # both
+            {"benchmark": "NOPE"},
+            {"benchmark": "QFT", "qubits": 0},
+            {"benchmark": "QFT", "qubits": 300},
+            {"benchmark": "QFT", "qubits": "16"},
+            {"benchmark": "QFT", "qubits": True},
+            {"benchmark": "QFT", "seed": 1.5},
+            {"benchmark": "QFT", "resource_state": "5-blob"},
+            {"benchmark": "QFT", "shots": -1},
+            {"benchmark": "QFT", "noise": [1, 2]},
+            {"benchmark": "QFT", "noise": {"cycle_loss": "high"}},
+            {"benchmark": "QFT", "verify": "yes"},
+            {"benchmark": "QFT", "mc_engine": "warp"},
+            {"benchmark": "QFT", "typo_field": 1},
+            {"qasm": ""},
+            {"qasm": "   "},
+        ],
+    )
+    def test_invalid_requests_rejected(self, request_payload):
+        with pytest.raises(RequestError):
+            normalize_request({"op": "compile", **request_payload})
+
+    def test_noise_is_canonicalized(self):
+        a = normalize_request(
+            {"op": "compile", "benchmark": "BV",
+             "noise": {"cycle_loss": 0.01, "fusion_success": 0.5}}
+        )
+        b = normalize_request(
+            {"op": "compile", "benchmark": "BV",
+             "noise": {"fusion_success": 0.5, "cycle_loss": 0.01}}
+        )
+        assert job_key(a) == job_key(b)
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    with CompileService(
+        workers=2, cache_dir=tmp_path_factory.mktemp("serve-cache")
+    ) as svc:
+        yield svc
+
+
+class TestCompileService:
+    def test_miss_then_memory_hit_bit_identical(self, service):
+        request = {"op": "compile", "benchmark": "BV", "qubits": 8}
+        first = service.handle(request)
+        assert first["ok"], first
+        assert first["cache_tier"] is None
+        second = service.handle(request)
+        assert second["ok"]
+        assert second["cache_tier"] == "memory"
+        assert second["cache_age_seconds"] >= 0.0
+        assert second["artifact"] == first["artifact"]
+        assert first["artifact"]["depth"] >= 1
+        assert first["artifact"]["kind"] == "benchmark"
+
+    def test_disk_tier_survives_memory_clear(self, service):
+        request = {"op": "compile", "benchmark": "BV", "qubits": 6}
+        first = service.handle(request)
+        service.store.clear_memory()
+        second = service.handle(request)
+        assert second["cache_tier"] == "disk"
+        assert second["artifact"] == first["artifact"]
+
+    def test_qasm_request_compiles_and_caches(self, service):
+        from repro.circuit import get_benchmark
+        from repro.circuit.qasm import to_qasm
+
+        qasm = to_qasm(get_benchmark("BV", 6, seed=7))
+        request = {"op": "compile", "qasm": qasm, "name": "bv6"}
+        first = service.handle(request)
+        assert first["ok"], first
+        assert first["artifact"]["kind"] == "qasm"
+        assert first["artifact"]["num_qubits"] == 6
+        assert first["artifact"]["depth"] >= 1
+        second = service.handle(request)
+        assert second["cache_tier"] == "memory"
+        assert second["artifact"] == first["artifact"]
+
+    def test_yield_estimate_in_artifact(self, service):
+        response = service.handle(
+            {"op": "compile", "benchmark": "BV", "qubits": 6, "shots": 200}
+        )
+        assert response["ok"]
+        artifact = response["artifact"]
+        assert artifact["shots"] == 200
+        assert 0.0 <= artifact["yield_mc"] <= 1.0
+        assert 0.0 < artifact["yield_analytic"] < 1.0
+
+    def test_ping_and_stats_ops(self, service):
+        assert service.handle({"op": "ping"})["ok"] is True
+        response = service.handle({"op": "stats"})
+        assert response["ok"] is True
+        stats = response["stats"]
+        assert stats["workers"] == 2
+        assert stats["jobs_completed"] >= 1
+        assert stats["store"]["puts"] >= 1
+        assert 0.0 <= stats["store"]["hit_rate"] <= 1.0
+
+    def test_unknown_op_rejected(self, service):
+        response = service.handle({"op": "teleport"})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "unknown-op"
+
+    def test_bad_request_rejected(self, service):
+        response = service.handle({"op": "compile", "benchmark": "NOPE"})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad-request"
+        assert "benchmark" in response["error"]["message"]
+
+    def test_worker_exception_reported_not_raised(self, service):
+        response = service.handle(
+            {"op": "compile", "qasm": "this is not qasm", "name": "bad"}
+        )
+        assert response["ok"] is False
+        assert response["error"]["code"] == "compile-error"
+
+    def test_single_flight_joins_inflight_compile(self, tmp_path):
+        """Concurrent identical requests trigger exactly one compile."""
+        with CompileService(workers=2, cache_dir=tmp_path) as svc:
+            request = {"op": "compile", "benchmark": "QFT", "qubits": 12}
+            responses = [None] * 4
+
+            def issue(slot):
+                responses[slot] = svc.handle(request)
+
+            threads = [
+                threading.Thread(target=issue, args=(slot,))
+                for slot in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert all(r["ok"] for r in responses)
+            artifacts = [r["artifact"] for r in responses]
+            assert all(a == artifacts[0] for a in artifacts)
+            # exactly one request actually compiled; the rest joined the
+            # in-flight future or hit the store it populated
+            fresh = [r for r in responses if r["cache_tier"] is None]
+            assert len(fresh) == 1
+            assert svc.jobs_completed == 1
+
+    def test_close_rejects_new_compiles(self, tmp_path):
+        svc = CompileService(workers=1, cache_dir=tmp_path)
+        warm = {"op": "compile", "benchmark": "BV", "qubits": 6}
+        assert svc.handle(warm)["ok"]
+        svc.close()
+        # cached artifacts still serve after close ...
+        assert svc.handle(warm)["cache_tier"] == "memory"
+        # ... but new compiles are refused
+        response = svc.handle({"op": "compile", "benchmark": "BV", "qubits": 7})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "shutting-down"

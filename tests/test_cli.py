@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -148,3 +150,53 @@ class TestCommands:
         capsys.readouterr()
         main(args)
         assert "[cache]" in capsys.readouterr().out
+
+
+class TestServeCLI:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 7711
+        assert args.workers is None
+        assert args.cache is None
+        assert args.mem_capacity == 256
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.command == "loadgen"
+        assert args.port is None
+        assert args.spawn is False
+        assert args.workloads == ["hot-qft16", "mixed-16"]
+        assert args.concurrency == [1, 4]
+        assert args.requests == 50
+        assert args.out == "benchmarks/results"
+        assert args.label == "serving"
+
+    def test_loadgen_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--workloads", "nope"])
+
+    def test_loadgen_without_port_or_spawn_exits_2(self, capsys):
+        assert main(["loadgen"]) == 2
+        assert "--port is required" in capsys.readouterr().err
+
+    def test_loadgen_spawn_end_to_end(self, tmp_path, capsys):
+        code = main([
+            "loadgen", "--spawn",
+            "--workloads", "hot-qft16",
+            "--concurrency", "1", "2",
+            "--requests", "6",
+            "--out", str(tmp_path),
+            "--label", "smoke",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spawned server" in out
+        assert "hot-qft16" in out
+        table = json.loads((tmp_path / "serving_table.json").read_text())
+        assert len(table["cells"]) == 2  # one workload x two concurrencies
+        assert all(c["failure_rate"] == 0.0 for c in table["cells"])
+        assert (tmp_path / "serving_table.csv").exists()
+        bench = json.loads((tmp_path / "BENCH_smoke.json").read_text())
+        assert bench["label"] == "smoke"
