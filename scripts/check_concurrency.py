@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""CI gate: the concurrency linter must be clean over the repo source.
+
+Runs :mod:`repro.analysis.concurrency` (lock discipline, async blocking
+effects, lock-order cycles, resource lifetimes — see that module for
+the CC code table) over ``src/`` by default and fails on any finding
+that survives ``# noqa: CCxxx`` suppression.  Also prints the static
+lock-acquisition-order graph so a CI log documents the ordering the
+runtime sanitizer cross-checks against.
+
+Usage::
+
+    python scripts/check_concurrency.py [path ...]     # default: src/
+
+Exit status 1 when any unsuppressed finding remains, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.concurrency import (  # noqa: E402
+    ConcurrencyAnalyzer,
+    render_findings,
+)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    paths = [pathlib.Path(p) for p in argv] or [REPO_ROOT / "src"]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    analyzer = ConcurrencyAnalyzer()
+    analyzer.add_paths(paths)
+    findings = analyzer.analyze()
+    if findings:
+        print(render_findings(findings))
+        return 1
+    edges = analyzer.lock_order_edges()
+    if edges:
+        print("static lock-order edges:")
+        for (outer, inner), (path, line) in sorted(
+            edges.items(), key=lambda kv: (kv[0][0], kv[0][1])
+        ):
+            print(f"  {outer} -> {inner}  ({path}:{line})")
+    else:
+        print("static lock-order graph: no nested acquisitions")
+    print("concurrency lint clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

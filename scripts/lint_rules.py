@@ -17,6 +17,11 @@ Rules:
   they are exact in binary and common as sentinels/angles.
 * **LR003 — mutable default argument**: ``def f(x, acc=[])`` shares one
   list across calls; use ``None`` + an in-body default.
+* **LR004 — silently swallowed exception**: a ``pass``-only handler for
+  a bare ``except``, ``except Exception`` or ``except BaseException``
+  hides every failure in the guarded block.  Narrow the exception type,
+  or handle/log it.  Test files (``tests/`` dirs, ``test_*.py`` /
+  ``conftest.py``) are exempt — tests legitimately probe failure paths.
 
 Suppression: append ``# noqa: LR001`` (or a comma-separated list) to
 the offending line.  A bare ``# noqa`` suppresses every rule on the
@@ -174,6 +179,49 @@ class _Checker(ast.NodeVisitor):
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
         self.generic_visit(node)
+
+    # -- LR004: except (Exception)?: pass ------------------------------
+    def visit_Try(self, node: ast.Try) -> None:
+        if not _is_test_path(self.path):
+            for handler in node.handlers:
+                if not all(isinstance(s, ast.Pass) for s in handler.body):
+                    continue
+                caught = _broad_exception_name(handler.type)
+                if caught is not None:
+                    shown = f"except {caught}" if caught else "except"
+                    self._flag(
+                        handler, "LR004",
+                        f"'{shown}: pass' silently swallows every "
+                        "failure in the try block; narrow the type or "
+                        "handle the error",
+                    )
+        self.generic_visit(node)
+
+
+def _is_test_path(path: pathlib.Path) -> bool:
+    """Test files are exempt from LR004 (they probe failure paths)."""
+    if "tests" in path.parts:
+        return True
+    return path.name.startswith("test_") or path.name == "conftest.py"
+
+
+def _broad_exception_name(exc_type: Optional[ast.AST]) -> Optional[str]:
+    """The over-broad caught name, or ``None`` if the catch is narrow.
+
+    Bare ``except`` and ``except Exception/BaseException`` (alone or
+    anywhere in a tuple) count as broad.
+    """
+    if exc_type is None:
+        return ""  # bare except
+    candidates = (
+        exc_type.elts if isinstance(exc_type, ast.Tuple) else [exc_type]
+    )
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in (
+            "Exception", "BaseException",
+        ):
+            return candidate.id
+    return None
 
 
 def check_source(

@@ -9,9 +9,18 @@ certification of the underlying open graph
 a pattern is runnable and deterministic without a single shot.  The
 mutation harness (:mod:`repro.analysis.mutate`) validates the linter by
 corrupting known-good artifacts and asserting every corruption class is
-flagged.
+flagged.  :mod:`repro.analysis.concurrency` turns the same static lens
+on the repo's own serving/eval source: lock discipline, async blocking
+effects, lock-order cycles and resource lifetimes, CC-coded.
 """
 
+from repro.analysis.concurrency import (
+    CC_CODES,
+    ConcurrencyAnalyzer,
+    ConcurrencyFinding,
+    analyze_paths,
+    analyze_source,
+)
 from repro.analysis.flow import (
     DeterminismCertificate,
     FlowViolation,
@@ -38,9 +47,14 @@ from repro.analysis.mutate import (
 )
 
 __all__ = [
+    "CC_CODES",
+    "ConcurrencyAnalyzer",
+    "ConcurrencyFinding",
     "DeterminismCertificate",
     "FlowViolation",
     "FRAME_MUTATIONS",
+    "analyze_paths",
+    "analyze_source",
     "LintIssue",
     "LintReport",
     "MUTATION_EXPECTED_CODES",

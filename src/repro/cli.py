@@ -214,6 +214,9 @@ def cmd_bench(args) -> int:
 
 
 def cmd_lint(args) -> int:
+    if args.concurrency:
+        return _lint_concurrency(args)
+
     from repro.analysis import lint_compiled_program, lint_pattern
     from repro.mbqc.translate import circuit_to_pattern
 
@@ -261,6 +264,33 @@ def cmd_lint(args) -> int:
     return 0 if report.ok else 1
 
 
+def _lint_concurrency(args) -> int:
+    import pathlib
+
+    import repro
+    from repro.analysis.concurrency import (
+        ConcurrencyAnalyzer,
+        render_findings,
+    )
+
+    paths = [pathlib.Path(p) for p in args.paths] or [
+        pathlib.Path(repro.__file__).resolve().parent
+    ]
+    analyzer = ConcurrencyAnalyzer()
+    analyzer.add_paths(paths)
+    findings = analyzer.analyze()
+    if findings:
+        print(render_findings(findings))
+        return 1
+    edges = analyzer.lock_order_edges()
+    scanned = ", ".join(str(p) for p in paths)
+    print(
+        f"concurrency lint clean: {scanned} "
+        f"({len(edges)} static lock-order edge(s), no findings)"
+    )
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.serve.server import run_server
 
@@ -274,7 +304,6 @@ def cmd_serve(args) -> int:
 
 
 def cmd_loadgen(args) -> int:
-    import json
     import pathlib
 
     from repro.serve.loadgen import (
@@ -282,6 +311,7 @@ def cmd_loadgen(args) -> int:
         run_load,
         write_serving_table,
     )
+    from repro.serve.store import atomic_write_json
 
     handle = None
     host, port = args.host, args.port
@@ -317,15 +347,13 @@ def cmd_loadgen(args) -> int:
         },
     )
     bench_path = out_dir / f"BENCH_{args.label}.json"
-    bench_path.write_text(
-        json.dumps(
-            {
-                "schema_version": 1,
-                "label": args.label,
-                "cells": [cell.row() for cell in cells],
-            },
-            indent=1,
-        )
+    atomic_write_json(
+        bench_path,
+        {
+            "schema_version": 1,
+            "label": args.label,
+            "cells": [cell.row() for cell in cells],
+        },
     )
     print(f"serving table: {json_path}")
     print(f"serving csv:   {csv_path}")
@@ -402,6 +430,17 @@ def build_parser() -> argparse.ArgumentParser:
                 "--compile", action="store_true",
                 help="also run the OneQ compiler and lint the compiled "
                 "program's photon/fusion budgets and hardware mapping",
+            )
+            p.add_argument(
+                "--concurrency", action="store_true",
+                help="lint the repo's own source for concurrency defects "
+                "(lock discipline, async blocking, lock-order cycles, "
+                "resource leaks) instead of linting a circuit",
+            )
+            p.add_argument(
+                "paths", nargs="*", default=[],
+                help="files/dirs for --concurrency (default: the "
+                "installed repro package)",
             )
         elif cmd == "compile":
             _add_hardware_args(p)

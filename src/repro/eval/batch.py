@@ -29,7 +29,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.serve.store import ArtifactStore
+from repro.serve.store import ArtifactStore, atomic_write_json
 
 SCHEMA_VERSION = 8
 
@@ -564,7 +564,7 @@ def write_run_table(
         "meta": meta or {},
         "records": rows,
     }
-    json_path.write_text(json.dumps(payload, indent=1, default=str))
+    atomic_write_json(json_path, payload)
     csv_path = out_dir / f"{stem}.csv"
     with csv_path.open("w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=RUN_TABLE_COLUMNS)
@@ -630,8 +630,7 @@ def write_bench_json(
             identical if compared else None
         )
         payload["metrics_compared"] = compared
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=1))
+    atomic_write_json(path, payload)
     return path
 
 
@@ -750,8 +749,7 @@ def write_noise_sweep_json(
         "meta": meta or {},
         "runs": runs,
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=1))
+    atomic_write_json(path, payload)
     return path
 
 

@@ -43,7 +43,6 @@ built-ins cover the serving regimes that matter:
 from __future__ import annotations
 
 import csv
-import json
 import pathlib
 import threading
 import time
@@ -51,6 +50,8 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.serve.client import CompileClient
+from repro.serve.store import atomic_write_json
+from repro.utils.sync import make_lock
 
 SERVING_SCHEMA_VERSION = 1
 
@@ -230,13 +231,13 @@ def run_cell(
                 warmup += 1
 
     counter = {"next": 0}
-    counter_lock = threading.Lock()
+    counter_lock = make_lock("run_cell.counter_lock")
     latencies: List[float] = []
     hits = 0
     failures = 0  # error responses + transport errors
     transport_failures = 0  # subset of failures with no latency sample
     errors: List[str] = []
-    results_lock = threading.Lock()
+    results_lock = make_lock("run_cell.results_lock")
     start_barrier = threading.Barrier(concurrency + 1)
 
     def worker() -> None:
@@ -368,17 +369,15 @@ def write_serving_table(
         for cell in cells
     ]
     json_path = out_dir / f"{stem}.json"
-    json_path.write_text(
-        json.dumps(
-            {
-                "schema_version": SERVING_SCHEMA_VERSION,
-                "columns": SERVING_TABLE_COLUMNS,
-                "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
-                "meta": meta or {},
-                "cells": rows,
-            },
-            indent=1,
-        )
+    atomic_write_json(
+        json_path,
+        {
+            "schema_version": SERVING_SCHEMA_VERSION,
+            "columns": SERVING_TABLE_COLUMNS,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "meta": meta or {},
+            "cells": rows,
+        },
     )
     csv_path = out_dir / f"{stem}.csv"
     with csv_path.open("w", newline="") as handle:

@@ -159,7 +159,10 @@ class CompileServer:
                 )
                 # drain in a fresh task: this connection must finish
                 # (and leave self._connections) for the drain to settle
-                asyncio.ensure_future(self.stop(drain=True))
+                # deliberate fire-and-forget: stop() must outlive this
+                # handler, and the server holds it alive via its own
+                # _connections bookkeeping until the drain settles
+                asyncio.ensure_future(self.stop(drain=True))  # noqa: CC203
                 return
 
             if self._draining and request.get("op") == "compile":
@@ -284,8 +287,8 @@ class ServerThread:
         )
         try:
             future.result(timeout)
-        except Exception:
-            pass
+        except Exception:  # noqa: LR004 — best-effort stop: the loop may
+            pass  # already be closing; _finished/join below still bound exit
         self._finished.wait(timeout)
         if self._thread is not None:
             self._thread.join(timeout)

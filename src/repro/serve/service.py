@@ -32,7 +32,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import asdict
@@ -40,6 +39,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.serve.protocol import error_response
 from repro.serve.store import ArtifactStore
+from repro.utils.sync import make_lock
 
 #: bump when the artifact payload shape changes: stale disk entries
 #: then read as misses instead of surfacing old-shape artifacts
@@ -300,7 +300,7 @@ class CompileService:
         )
         self._executor: Optional[ProcessPoolExecutor] = None
         self._inflight: Dict[str, "Future[Dict[str, Any]]"] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("CompileService._lock")
         self._closed = False
         self.jobs_completed = 0
         self.jobs_failed = 0
@@ -393,12 +393,14 @@ class CompileService:
     def stats(self) -> Dict[str, Any]:
         with self._lock:
             inflight = len(self._inflight)
+            jobs_completed = self.jobs_completed
+            jobs_failed = self.jobs_failed
         return {
             "workers": self.workers,
-            "jobs_completed": self.jobs_completed,
-            "jobs_failed": self.jobs_failed,
+            "jobs_completed": jobs_completed,
+            "jobs_failed": jobs_failed,
             "inflight": inflight,
-            "uptime_seconds": round(time.time() - self._started_at, 3),
+    "uptime_seconds": round(time.time() - self._started_at, 3),
             "store": self.store.stats.as_dict(),
         }
 

@@ -41,9 +41,35 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro.utils.sync import make_lock
+
 #: artifact tiers a hit can come from (``None`` means miss)
 MEMORY_TIER = "memory"
 DISK_TIER = "disk"
+
+
+def atomic_write_json(
+    path: pathlib.Path,
+    payload: Any,
+    indent: int = 1,
+) -> pathlib.Path:
+    """Serialize *payload* to *path* atomically (tmp + ``os.replace``).
+
+    The canonical JSON-publish path for every artifact the repo writes:
+    serialize to a pid/thread-unique temp file in the destination
+    directory, then ``os.replace`` it into place, so a concurrent
+    reader sees either the old complete file or the new complete file,
+    never a torn one.  The concurrency linter (CC402) flags raw
+    ``json.dump``/``write_text(json.dumps(...))`` sites that bypass it.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / (
+        f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    tmp.write_text(json.dumps(payload, indent=indent, default=str))
+    os.replace(tmp, path)
+    return path
 
 
 @dataclass
@@ -95,14 +121,16 @@ class MemoryLRU:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock("MemoryLRU._lock")
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> Optional[Any]:
         with self._lock:
@@ -171,14 +199,7 @@ class DiskTier:
         return envelope, False
 
     def store(self, key: str, envelope: Dict[str, Any]) -> pathlib.Path:
-        path = self.path(key)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = self.directory / (
-            f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
-        )
-        tmp.write_text(json.dumps(envelope, indent=1, default=str))
-        os.replace(tmp, path)
-        return path
+        return atomic_write_json(self.path(key), envelope)
 
 
 @dataclass
@@ -214,7 +235,7 @@ class ArtifactStore:
             if self.cache_dir is not None
             else None
         )
-        self._lock = threading.Lock()
+        self._lock = make_lock("ArtifactStore._lock")
 
     # -- lookup --------------------------------------------------------
     def get(self, key: str) -> Optional[StoreHit]:

@@ -1,4 +1,4 @@
-"""Shared utilities: angles, geometry and deterministic RNG helpers."""
+"""Shared utilities: angles, geometry, RNG and lock instrumentation."""
 
 from repro.utils.angles import (
     ANGLE_ATOL,
@@ -8,18 +8,38 @@ from repro.utils.angles import (
 )
 from repro.utils.bitgrid import BitGridSpec, expand, lexmin_path, nearest_free, spec_for
 from repro.utils.geometry import Rect, bounding_rect, manhattan
+from repro.utils.sync import (
+    GLOBAL_REGISTRY,
+    LockOrderError,
+    TrackedLock,
+    WitnessRegistry,
+    check_witness_against,
+    enable_sanitizer,
+    find_cycle,
+    make_lock,
+    sanitizer_enabled,
+)
 
 __all__ = [
     "ANGLE_ATOL",
     "BitGridSpec",
+    "GLOBAL_REGISTRY",
+    "LockOrderError",
     "Rect",
+    "TrackedLock",
+    "WitnessRegistry",
     "bounding_rect",
+    "check_witness_against",
+    "enable_sanitizer",
     "expand",
+    "find_cycle",
     "is_clifford_angle",
     "is_pauli_angle",
     "lexmin_path",
+    "make_lock",
     "manhattan",
     "nearest_free",
     "normalize_angle",
+    "sanitizer_enabled",
     "spec_for",
 ]

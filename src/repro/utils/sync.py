@@ -1,0 +1,343 @@
+"""Runtime lock-order sanitizer: instrumented locks + dynamic witness.
+
+The static concurrency pass (:mod:`repro.analysis.concurrency`) proves
+properties of the *source*; this module witnesses the same properties
+at *runtime*, ThreadSanitizer-style.  Every lock in the serving stack
+is constructed through :func:`make_lock`, which normally hands back a
+plain ``threading.Lock`` (zero overhead).  With the sanitizer enabled —
+``REPRO_SYNC_SANITIZE=1`` in the environment, or
+:func:`enable_sanitizer` from a test fixture — it returns a
+:class:`TrackedLock` instead, which records into the process-global
+:data:`GLOBAL_REGISTRY`:
+
+* the **held-lock stack** per thread (what this thread holds right now);
+* the **lock-order witness**: a directed edge ``outer -> inner`` with a
+  count, recorded every time ``inner`` is acquired while ``outer`` is
+  held;
+* per-lock **acquisition counts** (proof the instrumentation actually
+  ran — an empty witness on an untouched registry proves nothing).
+
+Acquiring a lock whose witness edge would close a cycle raises
+:class:`LockOrderError` *at the acquisition site*: the interleaving
+that would deadlock is named the first time the conflicting order is
+even attempted, not the one unlucky run where both threads interleave
+badly.
+
+Lock names are chosen to match the identities the static analyzer
+derives from the source (``ClassName.attr`` for ``self.attr`` locks,
+``function.varname`` for function-local locks), so a dynamic witness
+edge can be cross-checked against the static acquisition graph with
+:func:`check_witness_against`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from types import TracebackType
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Tuple
+
+#: environment flag that turns :func:`make_lock` into TrackedLock mode
+SANITIZER_ENV = "REPRO_SYNC_SANITIZE"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+class LockOrderError(RuntimeError):
+    """A lock acquisition closed a cycle in the dynamic order witness."""
+
+
+class LockLike(Protocol):
+    """The mutex surface shared by ``threading.Lock`` and TrackedLock."""
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool:
+        ...
+
+    def release(self) -> None:
+        ...
+
+    def locked(self) -> bool:
+        ...
+
+    def __enter__(self) -> bool:
+        ...
+
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> object:
+        ...
+
+
+def find_cycle(edges: Iterable[Tuple[str, str]]) -> Optional[List[str]]:
+    """A cycle in the directed graph *edges*, or ``None``.
+
+    Returns the cycle as a node list ``[a, b, ..., a]`` (first node
+    repeated at the end).  Deterministic: neighbors are explored in
+    sorted order, so the same graph always reports the same cycle.
+    """
+    adjacency: Dict[str, List[str]] = {}
+    for src, dst in edges:
+        adjacency.setdefault(src, []).append(dst)
+    for neighbors in adjacency.values():
+        neighbors.sort()
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {}
+    parent: Dict[str, str] = {}
+
+    def visit(root: str) -> Optional[List[str]]:
+        stack: List[Tuple[str, Iterable[str]]] = [
+            (root, iter(adjacency.get(root, ())))
+        ]
+        color[root] = GRAY
+        while stack:
+            node, neighbors = stack[-1]
+            advanced = False
+            for nxt in neighbors:
+                state = color.get(nxt, WHITE)
+                if state == GRAY:  # back edge: walk parents to recover
+                    cycle = [nxt, node]
+                    cur = node
+                    while cur != nxt:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    return cycle
+                if state == WHITE:
+                    color[nxt] = GRAY
+                    parent[nxt] = node
+                    stack.append((nxt, iter(adjacency.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+        return None
+
+    for start in sorted(adjacency):
+        if color.get(start, WHITE) == WHITE:
+            cycle = visit(start)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+class _HeldStack(threading.local):
+    """Per-thread stack of held TrackedLock names."""
+
+    def __init__(self) -> None:
+        self.stack: List[str] = []
+
+
+class WitnessRegistry:
+    """Process-global accumulator for the dynamic lock-order witness.
+
+    Thread-safe; the registry's own mutex is a plain ``threading.Lock``
+    (it must not record itself).  One module-level instance
+    (:data:`GLOBAL_REGISTRY`) backs every :class:`TrackedLock` unless a
+    test injects its own.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._edges: Dict[Tuple[str, str], int] = {}
+        self._acquisitions: Dict[str, int] = {}
+        self._held = _HeldStack()
+
+    # -- recording (called by TrackedLock) -----------------------------
+    def record_acquire(self, name: str) -> None:
+        """Record that the current thread acquired *name*.
+
+        Raises :class:`LockOrderError` — *before* recording — when the
+        new ``held -> name`` edge would close a cycle in the witness.
+        """
+        held = list(self._held.stack)
+        with self._mutex:
+            new_edges = [
+                (outer, name)
+                for outer in held
+                if (outer, name) not in self._edges
+            ]
+            if new_edges:
+                cycle = find_cycle(list(self._edges) + new_edges)
+                if cycle is not None:
+                    raise LockOrderError(
+                        f"acquiring {name!r} while holding "
+                        f"[{', '.join(held)}] closes a lock-order "
+                        f"cycle: {' -> '.join(cycle)}"
+                    )
+            self._acquisitions[name] = self._acquisitions.get(name, 0) + 1
+            for outer in held:
+                edge = (outer, name)
+                self._edges[edge] = self._edges.get(edge, 0) + 1
+        self._held.stack.append(name)
+
+    def record_release(self, name: str) -> None:
+        """Pop *name*'s most recent entry off this thread's held stack."""
+        stack = self._held.stack
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    # -- inspection ----------------------------------------------------
+    def edges(self) -> Dict[Tuple[str, str], int]:
+        """Witnessed ``(outer, inner) -> count`` acquisition-order edges."""
+        with self._mutex:
+            return dict(self._edges)
+
+    def acquisitions(self) -> Dict[str, int]:
+        """Per-lock acquisition counts since the last :meth:`reset`."""
+        with self._mutex:
+            return dict(self._acquisitions)
+
+    def held(self) -> Tuple[str, ...]:
+        """Locks the *calling thread* holds right now, outermost first."""
+        return tuple(self._held.stack)
+
+    def assert_acyclic(self) -> None:
+        """Raise :class:`LockOrderError` if the witness graph has a cycle.
+
+        :meth:`record_acquire` already refuses cycle-closing edges, so
+        this only fires if the registry was populated out-of-band; it
+        exists as the explicit end-of-test assertion.
+        """
+        cycle = find_cycle(self.edges())
+        if cycle is not None:
+            raise LockOrderError(
+                f"lock-order witness contains a cycle: {' -> '.join(cycle)}"
+            )
+
+    def reset(self) -> None:
+        """Drop all recorded edges and counts (held stacks are per-thread
+        and survive only within their threads)."""
+        with self._mutex:
+            self._edges.clear()
+            self._acquisitions.clear()
+
+
+#: default registry every TrackedLock records into
+GLOBAL_REGISTRY = WitnessRegistry()
+
+
+class TrackedLock:
+    """A ``threading.Lock`` wrapper that records the lock-order witness.
+
+    Same acquire/release/context-manager surface as the lock it wraps;
+    every successful acquire pushes onto the per-thread held stack and
+    records order edges from every lock already held.
+    """
+
+    def __init__(
+        self, name: str, registry: Optional[WitnessRegistry] = None
+    ) -> None:
+        self.name = name
+        self._registry = registry if registry is not None else GLOBAL_REGISTRY
+        self._inner = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            try:
+                self._registry.record_acquire(self.name)
+            except LockOrderError:
+                self._inner.release()  # don't wedge the failing test
+                raise
+        return acquired
+
+    def release(self) -> None:
+        self._registry.record_release(self.name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._inner.locked() else "unlocked"
+        return f"<TrackedLock {self.name!r} {state}>"
+
+
+# ----------------------------------------------------------------------
+# construction-time switch
+# ----------------------------------------------------------------------
+_FORCED: Optional[bool] = None
+
+
+def sanitizer_enabled() -> bool:
+    """Whether :func:`make_lock` currently returns tracked locks."""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get(SANITIZER_ENV, "").strip().lower() in _TRUTHY
+
+
+def enable_sanitizer(enabled: Optional[bool] = True) -> None:
+    """Override the environment switch (``None`` restores env control).
+
+    Takes effect for locks constructed *after* the call — test fixtures
+    enable it before building the store/service under test.
+    """
+    global _FORCED
+    _FORCED = enabled
+
+
+def make_lock(name: str) -> LockLike:
+    """A lock named for the sanitizer: tracked when enabled, plain otherwise.
+
+    *name* must match the identity the static analyzer derives for the
+    acquisition site (``ClassName.attr`` / ``function.varname``), so
+    dynamic witness edges line up with the static lock-order graph.
+    """
+    if sanitizer_enabled():
+        return TrackedLock(name)
+    return threading.Lock()
+
+
+def check_witness_against(
+    static_edges: Iterable[Tuple[str, str]],
+    registry: Optional[WitnessRegistry] = None,
+    require_locks: Iterable[str] = (),
+) -> Dict[Tuple[str, str], int]:
+    """Cross-check the dynamic witness against the static order graph.
+
+    Asserts (raising :class:`LockOrderError`) that the witness is
+    acyclic, that it stays acyclic when unioned with the statically
+    inferred acquisition edges (a dynamic order contradicting the
+    static one is a latent deadlock even if this run survived), and
+    that every lock in *require_locks* was actually acquired at least
+    once (guarding against a silently disabled sanitizer).  Returns the
+    witnessed edges.
+    """
+    registry = registry if registry is not None else GLOBAL_REGISTRY
+    witness = registry.edges()
+    counts = registry.acquisitions()
+    missing = sorted(set(require_locks) - {n for n, c in counts.items() if c})
+    if missing:
+        raise LockOrderError(
+            "sanitizer recorded no acquisitions for: " + ", ".join(missing)
+        )
+    registry.assert_acyclic()
+    union: Mapping[Tuple[str, str], int] = {
+        **{edge: 0 for edge in static_edges},
+        **witness,
+    }
+    cycle = find_cycle(union)
+    if cycle is not None:
+        raise LockOrderError(
+            "dynamic witness contradicts the static acquisition order: "
+            + " -> ".join(cycle)
+        )
+    return witness

@@ -201,6 +201,71 @@ class TestCompileService:
             assert len(fresh) == 1
             assert svc.jobs_completed == 1
 
+    def test_single_flight_under_sanitizer(self, tmp_path, lock_sanitizer):
+        """Single-flight + torn-stat guarantees hold under TrackedLock.
+
+        Seeded hammer: many threads issue a mix of identical and
+        distinct compile requests with the lock-order sanitizer active.
+        Afterwards the dynamic witness must be acyclic and consistent
+        with the static acquisition graph, both service locks must have
+        actually recorded acquisitions, exactly one fresh compile per
+        distinct key must have happened, and the jobs_completed counter
+        must not be torn.
+        """
+        import pathlib
+        import random
+
+        from repro.analysis.concurrency import ConcurrencyAnalyzer
+        from repro.utils import sync
+
+        registry = lock_sanitizer
+        with CompileService(workers=2, cache_dir=tmp_path) as svc:
+            assert isinstance(svc._lock, sync.TrackedLock)
+            requests = [
+                {"op": "compile", "benchmark": "BV", "qubits": q}
+                for q in (6, 7)
+            ]
+            responses = []
+            responses_lock = threading.Lock()
+
+            def issue(worker_id):
+                rng = random.Random(2000 + worker_id)
+                for _ in range(3):
+                    response = svc.handle(rng.choice(requests))
+                    with responses_lock:
+                        responses.append(response)
+
+            threads = [
+                threading.Thread(target=issue, args=(i,))
+                for i in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert all(r["ok"] for r in responses)
+            fresh = [r for r in responses if r["cache_tier"] is None]
+            served_keys = {r["key"] for r in responses}
+            # exactly one fresh compile per distinct key, and the
+            # completion counter agrees (no torn increments)
+            assert len(fresh) == len({r["key"] for r in fresh})
+            assert svc.stats()["jobs_completed"] == len(fresh)
+            assert len(served_keys) <= len(requests)
+
+        src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+        analyzer = ConcurrencyAnalyzer()
+        analyzer.add_paths([src / "serve", src / "utils"])
+        sync.check_witness_against(
+            analyzer.lock_order_edges(),
+            registry,
+            require_locks=[
+                "CompileService._lock",
+                "MemoryLRU._lock",
+                "ArtifactStore._lock",
+            ],
+        )
+
     def test_close_rejects_new_compiles(self, tmp_path):
         svc = CompileService(workers=1, cache_dir=tmp_path)
         warm = {"op": "compile", "benchmark": "BV", "qubits": 6}

@@ -320,3 +320,74 @@ class TestConcurrentAccess:
             _verify_artifact(hit.artifact)
         leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
         assert leftovers == []
+
+
+class TestSanitizerHammer:
+    """Seeded multi-thread hammer with the lock-order sanitizer active.
+
+    Same contention pattern as TestConcurrentAccess, but every lock in
+    the store is a TrackedLock: the test then asserts the dynamic
+    lock-order witness is acyclic, consistent with the statically
+    inferred acquisition graph, and that the instrumentation actually
+    recorded acquisitions for both store locks (a silently disabled
+    sanitizer must not pass).
+    """
+
+    def test_store_hammer_records_acyclic_witness(
+        self, tmp_path, lock_sanitizer
+    ):
+        import random
+
+        from repro.analysis.concurrency import ConcurrencyAnalyzer
+        from repro.utils import sync
+
+        registry = lock_sanitizer
+        store = ArtifactStore(
+            cache_dir=tmp_path, memory_capacity=2, schema_version=1
+        )
+        assert isinstance(store._lock, sync.TrackedLock)
+        errors = []
+
+        def worker(worker_id):
+            rng = random.Random(1000 + worker_id)
+            try:
+                for round_index in range(20):
+                    keys = list(_KEYS)
+                    rng.shuffle(keys)
+                    for key in keys:
+                        if rng.random() < 0.6:
+                            store.put(
+                                key,
+                                _artifact(
+                                    f"{key}-s{worker_id}-{round_index}"
+                                ),
+                            )
+                        hit = store.get(key)
+                        if hit is not None:
+                            _verify_artifact(hit.artifact)
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+        analyzer = ConcurrencyAnalyzer()
+        analyzer.add_paths([src / "serve", src / "utils"])
+        witness = sync.check_witness_against(
+            analyzer.lock_order_edges(),
+            registry,
+            require_locks=["MemoryLRU._lock", "ArtifactStore._lock"],
+        )
+        # the store never holds both locks at once: no witnessed edges
+        # between them in either direction
+        assert ("MemoryLRU._lock", "ArtifactStore._lock") not in witness
+        assert ("ArtifactStore._lock", "MemoryLRU._lock") not in witness

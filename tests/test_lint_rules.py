@@ -81,6 +81,51 @@ class TestLR003MutableDefaults:
         assert codes("def f(dims=()):\n    return dims\n") == []
 
 
+class TestLR004SwallowedExceptions:
+    def test_bare_except_pass(self):
+        src = "try:\n    work()\nexcept:\n    pass\n"
+        assert codes(src) == ["LR004"]
+
+    def test_except_exception_pass(self):
+        src = "try:\n    work()\nexcept Exception:\n    pass\n"
+        assert codes(src) == ["LR004"]
+
+    def test_except_base_exception_pass(self):
+        src = "try:\n    work()\nexcept BaseException:\n    pass\n"
+        assert codes(src) == ["LR004"]
+
+    def test_broad_type_in_tuple_flagged(self):
+        src = "try:\n    work()\nexcept (ValueError, Exception):\n    pass\n"
+        assert codes(src) == ["LR004"]
+
+    def test_narrow_except_pass_is_fine(self):
+        src = "try:\n    work()\nexcept OSError:\n    pass\n"
+        assert codes(src) == []
+
+    def test_handled_broad_except_is_fine(self):
+        src = "try:\n    work()\nexcept Exception as exc:\n    log(exc)\n"
+        assert codes(src) == []
+
+    def test_test_files_exempt(self):
+        src = "try:\n    work()\nexcept Exception:\n    pass\n"
+        for path in (
+            pathlib.Path("tests/serve/test_x.py"),
+            pathlib.Path("src/repro/test_helper.py"),
+            pathlib.Path("tests/conftest.py"),
+        ):
+            assert lint_rules.check_source(src, path) == []
+        assert [
+            f.code
+            for f in lint_rules.check_source(
+                src, pathlib.Path("src/repro/serve/server.py")
+            )
+        ] == ["LR004"]
+
+    def test_noqa_suppresses(self):
+        src = "try:\n    work()\nexcept Exception:  # noqa: LR004\n    pass\n"
+        assert codes(src) == []
+
+
 class TestSuppression:
     def test_targeted_noqa(self):
         src = (

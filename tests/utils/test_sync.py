@@ -1,0 +1,182 @@
+"""Unit tests for the runtime lock-order sanitizer (repro.utils.sync)."""
+
+import threading
+
+import pytest
+
+from repro.utils.sync import (
+    LockOrderError,
+    TrackedLock,
+    WitnessRegistry,
+    check_witness_against,
+    enable_sanitizer,
+    find_cycle,
+    make_lock,
+    sanitizer_enabled,
+)
+
+
+class TestFindCycle:
+    def test_empty_graph(self):
+        assert find_cycle([]) is None
+
+    def test_chain_is_acyclic(self):
+        assert find_cycle([("a", "b"), ("b", "c"), ("a", "c")]) is None
+
+    def test_two_cycle(self):
+        cycle = find_cycle([("a", "b"), ("b", "a")])
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"a", "b"}
+
+    def test_longer_cycle_recovered_exactly(self):
+        cycle = find_cycle(
+            [("a", "b"), ("b", "c"), ("c", "a"), ("x", "a")]
+        )
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"a", "b", "c"}
+
+    def test_deterministic(self):
+        edges = [("b", "a"), ("a", "b"), ("c", "d")]
+        assert find_cycle(edges) == find_cycle(list(reversed(edges)))
+
+    def test_self_loop(self):
+        assert find_cycle([("a", "a")]) == ["a", "a"]
+
+
+class TestWitnessRegistry:
+    def test_records_edges_and_counts(self):
+        reg = WitnessRegistry()
+        outer = TrackedLock("outer", reg)
+        inner = TrackedLock("inner", reg)
+        with outer:
+            with inner:
+                assert reg.held() == ("outer", "inner")
+        assert reg.held() == ()
+        assert reg.edges() == {("outer", "inner"): 1}
+        assert reg.acquisitions() == {"outer": 1, "inner": 1}
+        reg.assert_acyclic()
+
+    def test_cycle_refused_at_acquisition(self):
+        reg = WitnessRegistry()
+        a = TrackedLock("a", reg)
+        b = TrackedLock("b", reg)
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderError, match="cycle"):
+                a.acquire()
+        # the refused acquire must not wedge the inner mutex
+        assert not a.locked()
+        # and the surviving witness stays acyclic
+        reg.assert_acyclic()
+
+    def test_reacquiring_same_order_is_fine(self):
+        reg = WitnessRegistry()
+        a = TrackedLock("a", reg)
+        b = TrackedLock("b", reg)
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert reg.edges() == {("a", "b"): 3}
+
+    def test_cross_thread_edges_accumulate(self):
+        reg = WitnessRegistry()
+        a = TrackedLock("a", reg)
+        b = TrackedLock("b", reg)
+
+        def use():
+            with a:
+                with b:
+                    pass
+
+        threads = [threading.Thread(target=use) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.edges() == {("a", "b"): 4}
+        assert reg.acquisitions() == {"a": 4, "b": 4}
+
+    def test_reset_clears(self):
+        reg = WitnessRegistry()
+        with TrackedLock("only", reg):
+            pass
+        reg.reset()
+        assert reg.edges() == {}
+        assert reg.acquisitions() == {}
+
+
+class TestCheckWitnessAgainst:
+    def test_union_cycle_with_static_edges_raises(self):
+        reg = WitnessRegistry()
+        a = TrackedLock("a", reg)
+        b = TrackedLock("b", reg)
+        with a:
+            with b:
+                pass
+        # static analysis says b -> a somewhere else in the codebase:
+        # the runtime order contradicts it even though this run survived
+        with pytest.raises(LockOrderError, match="contradicts"):
+            check_witness_against([("b", "a")], reg)
+
+    def test_consistent_union_passes(self):
+        reg = WitnessRegistry()
+        a = TrackedLock("a", reg)
+        b = TrackedLock("b", reg)
+        with a:
+            with b:
+                pass
+        witness = check_witness_against(
+            [("a", "b"), ("b", "c")], reg, require_locks=["a", "b"]
+        )
+        assert witness == {("a", "b"): 1}
+
+    def test_missing_required_lock_raises(self):
+        reg = WitnessRegistry()
+        with TrackedLock("present", reg):
+            pass
+        with pytest.raises(LockOrderError, match="absent"):
+            check_witness_against([], reg, require_locks=["absent"])
+
+
+class TestMakeLock:
+    def test_disabled_returns_plain_lock(self):
+        enable_sanitizer(False)
+        try:
+            assert not sanitizer_enabled()
+            lock = make_lock("x")
+            assert not isinstance(lock, TrackedLock)
+            with lock:
+                pass
+        finally:
+            enable_sanitizer(None)
+
+    def test_enabled_returns_tracked_lock(self):
+        enable_sanitizer(True)
+        try:
+            lock = make_lock("tests.make_lock.tracked")
+            assert isinstance(lock, TrackedLock)
+            assert lock.name == "tests.make_lock.tracked"
+        finally:
+            enable_sanitizer(None)
+
+    def test_env_switch(self, monkeypatch):
+        enable_sanitizer(None)
+        monkeypatch.setenv("REPRO_SYNC_SANITIZE", "1")
+        assert sanitizer_enabled()
+        monkeypatch.setenv("REPRO_SYNC_SANITIZE", "0")
+        assert not sanitizer_enabled()
+        monkeypatch.delenv("REPRO_SYNC_SANITIZE")
+        assert not sanitizer_enabled()
+
+    def test_tracked_lock_context_and_api_parity(self):
+        lock = TrackedLock("parity", WitnessRegistry())
+        assert lock.acquire()
+        assert lock.locked()
+        lock.release()
+        assert not lock.locked()
+        assert "parity" in repr(lock)
