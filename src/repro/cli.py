@@ -11,6 +11,9 @@ Commands:
   on-disk cache) and persist run-table / BENCH artifacts;
 * ``noise-sweep`` — Monte-Carlo yield sweep across noise-model and
   resource-state coordinates (``BENCH_noise_sweep.json`` artifact);
+* ``degrade-sweep`` — hardware-degradation survival sweep: per-site
+  scenarios x recovery policies (``BENCH_degradation.json`` artifact;
+  ``--check-recovery`` gates on the ladder actually rescuing);
 * ``lint``     — statically lint a compiled measurement pattern (flow
   determinism certificate + structural checks; exit 1 on errors);
 * ``serve``    — run the long-lived compile server (async socket
@@ -398,6 +401,46 @@ def cmd_noise_sweep(args) -> int:
     return 0
 
 
+def cmd_degrade_sweep(args) -> int:
+    import pathlib
+
+    from repro import eval as evaluation
+
+    if args.quick:
+        benchmarks = [("BV", 8)]
+        severities = [0.0, 0.1, 0.3]
+        shots = 0
+    else:
+        benchmarks = [(name, args.qubits) for name in args.benchmarks]
+        severities = args.severities
+        shots = args.shots
+    out_dir = pathlib.Path(args.out)
+    records = evaluation.run_degrade_sweep(
+        benchmarks=benchmarks,
+        scenarios=args.scenarios,
+        severities=severities,
+        policies=args.policies,
+        shots=shots,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=pathlib.Path(args.cache) if args.cache else None,
+        out_dir=out_dir,
+        stem=args.stem,
+        label=args.label,
+    )
+    print(evaluation.render_survival_table(records))
+    print(f"run table: {out_dir / (args.stem + '.json')}")
+    print(f"survival:  {out_dir / ('BENCH_' + args.label + '.json')}")
+    status = 0
+    if args.check_recovery:
+        failures = evaluation.check_recovery(records)
+        for failure in failures:
+            print(f"error: recovery gate: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -622,6 +665,65 @@ def build_parser() -> argparse.ArgumentParser:
         "the previous",
     )
 
+    p = sub.add_parser(
+        "degrade-sweep",
+        help="hardware-degradation survival sweep: per-site noise "
+        "scenarios (dead generators, loss gradients/hotspots, detuned "
+        "fusion) x recovery policies (survive/reroute/recompile); "
+        "writes run-table + BENCH_degradation.json survival artifacts",
+    )
+    p.add_argument(
+        "--benchmarks", nargs="+", default=["BV", "QFT"],
+        help="benchmark names to sweep (QFT|QAOA|RCA|BV)",
+    )
+    p.add_argument("--qubits", type=int, default=8)
+    p.add_argument(
+        "--scenarios", nargs="+",
+        default=["dead-rsg", "loss-gradient", "loss-hotspot",
+                 "degraded-fusion"],
+        choices=["dead-rsg", "loss-gradient", "loss-hotspot",
+                 "degraded-fusion"],
+        help="degradation scenarios to sweep",
+    )
+    p.add_argument(
+        "--severities", type=float, nargs="+",
+        default=[0.0, 0.05, 0.1, 0.2, 0.3],
+        help="scenario severities in [0, 1] (0 = pristine control row)",
+    )
+    p.add_argument(
+        "--policies", nargs="+",
+        default=["survive", "reroute", "recompile"],
+        choices=["survive", "reroute", "recompile", "auto"],
+        help="recovery policies to evaluate per scenario point "
+        "('auto' walks the ladder and records the winner)",
+    )
+    p.add_argument(
+        "--shots", type=int, default=0,
+        help="Monte-Carlo shots sampling the recovered program under "
+        "the per-site map (0 = analytic-only; Clifford benchmarks "
+        "only)",
+    )
+    p.add_argument("--jobs", type=int, default=None, help="worker processes")
+    p.add_argument(
+        "--out", default="benchmarks/results", help="artifact directory"
+    )
+    p.add_argument("--cache", default=None, help="on-disk result cache dir")
+    p.add_argument("--stem", default="degrade_sweep", help="run-table stem")
+    p.add_argument(
+        "--label", default="degradation", help="BENCH_<label>.json name"
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke grid: BV-8, severities 0/0.1/0.3, no shots",
+    )
+    p.add_argument(
+        "--check-recovery", action="store_true",
+        help="exit 1 unless the sweep shows survive collapsing and "
+        "both reroute and recompile rescuing at least one scenario, "
+        "with every severity-0 row recovered",
+    )
+
     return parser
 
 
@@ -637,6 +739,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_bench(args)
     if args.command == "noise-sweep":
         return cmd_noise_sweep(args)
+    if args.command == "degrade-sweep":
+        return cmd_degrade_sweep(args)
     if args.command == "lint":
         return cmd_lint(args)
     if args.command == "serve":

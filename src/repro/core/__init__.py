@@ -16,6 +16,7 @@ from repro.core.mapping import (
     InLayerMapper,
     LayerLayout,
     MappingResult,
+    NoViableSitesError,
     Placement,
 )
 from repro.core.partition import (
@@ -32,6 +33,14 @@ from repro.core.planarity import (
     planar_edge_decomposition,
     planar_embedding_order,
 )
+from repro.core.recovery import (
+    POLICIES,
+    DegradationReport,
+    PolicyOutcome,
+    apply_policy,
+    recover,
+    reroute_program,
+)
 from repro.core.render import render_layer, render_program
 from repro.core.shuffling import ShuffleLayer, ShuffleResult, connect_pairs
 from repro.core.validate import (
@@ -46,23 +55,30 @@ from repro.core.validate import (
 
 __all__ = [
     "CompiledProgram",
+    "DegradationReport",
     "FGNode",
     "FusionGraph",
     "GraphPartition",
     "InLayerMapper",
     "LayerLayout",
     "MappingResult",
+    "NoViableSitesError",
     "OneQCompiler",
     "OneQConfig",
+    "POLICIES",
     "PartitionConfig",
     "Placement",
     "PatternVerification",
+    "PolicyOutcome",
     "ShuffleLayer",
     "ShuffleResult",
     "ValidationError",
     "YieldEstimate",
+    "apply_policy",
     "assert_valid",
     "estimate_yield",
+    "recover",
+    "reroute_program",
     "validate_program",
     "verify_pattern",
     "build_fusion_graph",

@@ -65,6 +65,11 @@ class OneQConfig:
     #: the win comes from wide dependency waves (e.g. hints disabled or
     #: weakly coupled circuits)
     map_jobs: Optional[int] = None
+    #: dead hardware cells ((row, col) on the extended layer grid):
+    #: excluded from mapping and pre-seeded as blockades on every
+    #: shuffle layer — the recompile recovery policy compiles around a
+    #: degraded device by listing its dead sites here
+    blocked_cells: Tuple[Tuple[int, int], ...] = ()
 
 
 @dataclass
@@ -215,6 +220,7 @@ class OneQCompiler:
             route_radius=cfg.route_radius,
             route_targets_limit=cfg.route_targets_limit,
             connect_radius=cfg.connect_radius,
+            blocked=set(cfg.blocked_cells),
         )
         tally = FusionTally()
         port_of: Dict[Tuple[int, int], FGNode] = {}
@@ -303,11 +309,16 @@ class OneQCompiler:
         shuffle_layers = 0
         for boundary in sorted(pairs_by_boundary):
             result = connect_pairs(
-                pairs_by_boundary[boundary], hardware.extended_shape
+                pairs_by_boundary[boundary],
+                hardware.extended_shape,
+                blocked=set(cfg.blocked_cells),
             )
             tally.add("shuffling", result.fusions)
             shuffle_layers += result.num_layers
-            resource_states += sum(len(l.used) for l in result.layers)
+            # reserved cells are dead-site blockades, not consumed states
+            resource_states += sum(
+                len(l.used) - l.reserved for l in result.layers
+            )
         stage_seconds["shuffle"] = time.perf_counter() - t0
 
         # ---- photon bookkeeping --------------------------------------
@@ -340,7 +351,7 @@ class OneQCompiler:
 #: worker payload: mapper knobs + one partition's fusion graph and hints
 _MapPayload = Tuple[
     Tuple[int, int], object, Optional[float], int, int, Optional[int],
-    FusionGraph, Dict[FGNode, Tuple[int, int]],
+    Tuple[Tuple[int, int], ...], FusionGraph, Dict[FGNode, Tuple[int, int]],
 ]
 
 
@@ -348,7 +359,7 @@ def _map_one_partition(payload: _MapPayload):
     """Worker: map one partition's fusion graph on a fresh mapper."""
     (
         shape, rst, alpha, route_radius, route_targets_limit,
-        connect_radius, fusion, hints,
+        connect_radius, blocked_cells, fusion, hints,
     ) = payload
     mapper = InLayerMapper(
         shape=shape,
@@ -357,6 +368,7 @@ def _map_one_partition(payload: _MapPayload):
         route_radius=route_radius,
         route_targets_limit=route_targets_limit,
         connect_radius=connect_radius,
+        blocked=set(blocked_cells),
     )
     result = mapper.map_fusion_graph(fusion, hints=hints)
     return (
@@ -423,7 +435,8 @@ def _map_partitions_parallel(
                     hints[dst_port] = coord
         return (
             shape, rst, cfg.alpha, cfg.route_radius,
-            cfg.route_targets_limit, cfg.connect_radius, fusion, hints,
+            cfg.route_targets_limit, cfg.connect_radius,
+            cfg.blocked_cells, fusion, hints,
         )
 
     results: List[Optional[tuple]] = [None] * n

@@ -42,6 +42,15 @@ from repro.utils.geometry import grid_neighbor_table
 Coord = Tuple[int, int]
 
 
+class NoViableSitesError(RuntimeError):
+    """The hardware has no usable cells left to map onto.
+
+    Raised when every cell of the layer grid is blocked (dead hardware
+    sites pre-excluded from mapping) — compiling is impossible and the
+    caller should report the device as unrecoverable rather than retry.
+    """
+
+
 @dataclass
 class LayerLayout:
     """One mapped (extended) physical layer, for metrics and rendering."""
@@ -87,11 +96,26 @@ class InLayerMapper:
         route_radius: int = 6,
         route_targets_limit: int = 6,
         connect_radius: Optional[int] = None,
+        blocked: Optional[Set[Coord]] = None,
     ) -> None:
         rows, cols = shape
         if rows < 2 or cols < 2:
             raise ValueError("layer must be at least 2x2")
         self.shape = shape
+        # dead hardware cells: permanently occupied in every layer, so
+        # placement and routing flow around them without special-casing
+        for cell in blocked or ():
+            r, c = cell
+            if not (0 <= r < rows and 0 <= c < cols):
+                raise ValueError(
+                    f"blocked cell {cell} is outside the {shape} layer"
+                )
+        self.blocked: FrozenSet[Coord] = frozenset(blocked or ())
+        if len(self.blocked) >= rows * cols:
+            raise NoViableSitesError(
+                f"no viable sites: all {rows * cols} cells of the "
+                f"{shape} layer are blocked/dead"
+            )
         self.resource_state = resource_state
         # paper: alpha > 1, typically the max degree of the physical layer
         self.alpha = float(alpha) if alpha is not None else 4.0
@@ -138,6 +162,15 @@ class InLayerMapper:
         self._node_bits: int = 0
         self._fnc: List[int] = list(self._spec.free0)
         self._rem_at: List[int] = [0] * self._spec.nbits
+        # dead cells start every layer occupied (not as nodes, not in
+        # the bounding rectangle: they consume no resource states)
+        spec = self._spec
+        for cell in sorted(self.blocked):
+            self._occupied[cell] = "blocked"
+            idx = cell[0] * spec.stride + cell[1]
+            self._occ_bits |= spec.bit[idx]
+            for ni in spec.nbr_idx[idx]:
+                self._fnc[ni] -= 1
 
     def _open_layer(self) -> LayerLayout:
         layout = LayerLayout(index=len(self.layers), shape=self.shape)

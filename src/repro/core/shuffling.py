@@ -43,6 +43,9 @@ class ShuffleLayer:
     shape: Tuple[int, int]
     used: Set[Coord] = field(default_factory=set)
     paths: List[List[Coord]] = field(default_factory=list)
+    #: cells of ``used`` that are pre-seeded blockades (dead hardware
+    #: sites), not consumed resource states — accounting subtracts them
+    reserved: int = 0
 
     def __post_init__(self) -> None:
         self._spec = spec_for(self.shape)
@@ -123,16 +126,27 @@ class ShuffleResult:
 
 
 def connect_pairs(
-    pairs: List[Tuple[Coord, Coord]], shape: Tuple[int, int]
+    pairs: List[Tuple[Coord, Coord]],
+    shape: Tuple[int, int],
+    blocked: Optional[Set[Coord]] = None,
 ) -> ShuffleResult:
     """Connect coordinate pairs on dynamically allocated shuffle layers.
 
     Pairs are processed in ascending distance order (short paths first
     leave the most room), each on the first layer with a free path.
+    ``blocked`` cells (dead hardware sites) pre-seed every allocated
+    layer's ``used`` set — paths flow around them and the accounting
+    does not bill them as consumed resource states (``reserved``).
     """
+    blocked = blocked or set()
     result = ShuffleResult(layers=[])
     for a, b in sorted(pairs, key=lambda p: manhattan(p[0], p[1])):
         if a == b:
+            if a in blocked:
+                raise RuntimeError(
+                    f"pair {a}-{a} needs a temporal fusion on a "
+                    "blocked/dead cell"
+                )
             # pure temporal connection through a delay line
             result.fusions += 1
             result.connected += 1
@@ -143,7 +157,9 @@ def connect_pairs(
             if path is not None:
                 break
         if path is None:
-            layer = ShuffleLayer(shape=shape)
+            layer = ShuffleLayer(
+                shape=shape, used=set(blocked), reserved=len(blocked)
+            )
             result.layers.append(layer)
             path = layer.try_route(a, b)
             if path is None:

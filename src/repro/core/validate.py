@@ -34,6 +34,7 @@ from repro.hardware.coupling import HardwareConfig
 from repro.mbqc.pattern import MeasurementPattern
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.degradation import SiteNoiseMap, SiteProfile
     from repro.hardware.noise import NoiseModel
     from repro.sim.noisy import FaultCounts
 
@@ -339,6 +340,8 @@ def estimate_yield(
     seed: Optional[int] = 7,
     counts: Optional["FaultCounts"] = None,
     engine: str = "frame",
+    site_map: Optional["SiteNoiseMap"] = None,
+    site_profile: Optional["SiteProfile"] = None,
 ) -> YieldEstimate:
     """Estimate the end-to-end success probability of a compiled program.
 
@@ -366,6 +369,13 @@ def estimate_yield(
             count), ``"batched"`` (chunked shared-symplectic tableau)
             or ``"per-shot"`` (the reference path).  Tallies are
             bit-identical at a fixed seed.
+        site_map: per-site degradation map
+            (:class:`repro.hardware.degradation.SiteNoiseMap`); when
+            given, fault configurations are sampled from the per-cell
+            rates and *model* is ignored in favour of the map.
+        site_profile: event→site assignment for *site_map*; required for
+            heterogeneous maps (``program_site_profile`` builds one from
+            a compiled program).
     """
     from repro.hardware.noise import DEFAULT_NOISE
     from repro.mbqc.translate import circuit_to_pattern
@@ -374,6 +384,8 @@ def estimate_yield(
     from repro.sim.stabilizer import circuit_is_clifford
 
     model = model or DEFAULT_NOISE
+    if site_map is not None:
+        model = site_map.as_uniform_model() or site_map.base
     t0 = time.perf_counter()
     if pattern is None:
         pattern = circuit_to_pattern(circuit)
@@ -392,14 +404,22 @@ def estimate_yield(
             detail="non-Clifford program; closed-form estimate only",
         )
     sampler = NoisySampler(
-        circuit, pattern=pattern, model=model, counts=counts, seed=seed
+        circuit,
+        pattern=pattern,
+        model=model,
+        counts=counts,
+        seed=seed,
+        site_map=site_map,
+        site_profile=site_profile,
     )
     result = sampler.run(shots, engine=engine)
     return YieldEstimate(
         shots=shots,
         yield_mc=result.yield_mc,
         fault_free_yield=result.fault_free_yield,
-        yield_analytic=analytic,
+        yield_analytic=result.yield_analytic
+        if result.analytic_override is not None
+        else analytic,
         sigma=result.sigma,
         method="mc-stabilizer",
         attempts_per_fusion=result.attempts_per_fusion,

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.serve.store import ArtifactStore, atomic_write_json
 
-SCHEMA_VERSION = 8
+SCHEMA_VERSION = 9
 
 #: Run-table columns, in on-disk CSV order.  Meanings:
 #:   key                 content hash of the spec (cache identity)
@@ -77,6 +77,19 @@ SCHEMA_VERSION = 8
 #:   mc_engine   sampler execution path (v4, "frame" added in v5):
 #:       "frame" bit-packed Pauli frames (default), "batched" chunked
 #:       tableau, or the "per-shot" reference; None when no sampling ran
+#:   scenario  hardware-degradation scenario name (v9; "" = pristine
+#:       hardware, no degradation stage)
+#:   severity  scenario severity knob in [0, 1] (v9)
+#:   dead_fraction   fraction of grid cells the scenario killed outright
+#:       (v9; None when no degradation stage ran)
+#:   policy    recovery policy evaluated (v9): "survive", "reroute",
+#:       "recompile", or the ladder winner when the spec asked "auto"
+#:   recovered   did the policy retain >= 50% of the clean yield with a
+#:       non-zero yield (v9; the RECOVERY_THRESHOLD bar)
+#:   yield_degraded   per-site closed-form yield of the (possibly
+#:       re-routed/recompiled) program under the scenario map (v9)
+#:   rerouted_fusions   fusions living on re-routed or re-placed routes
+#:       (v9; 0 for survive, the full fusion count for recompile)
 #:   cached    True when the row came from the artifact store
 #:   cache_tier   which store tier served a cached row (v8): "memory"
 #:       (in-process LRU) or "disk" (content-hash JSON file); empty for
@@ -135,6 +148,13 @@ RUN_TABLE_COLUMNS: List[str] = [
     "mc_seconds",
     "shots_per_second",
     "mc_engine",
+    "scenario",
+    "severity",
+    "dead_fraction",
+    "policy",
+    "recovered",
+    "yield_degraded",
+    "rerouted_fusions",
     "cached",
     "cache_tier",
     "cache_age_seconds",
@@ -177,6 +197,16 @@ class RunSpec:
     #: the "per-shot" reference engine — all bit-identical tallies,
     #: each ~10x+ slower than the previous
     mc_engine: str = "frame"
+    #: hardware-degradation scenario
+    #: (:data:`repro.hardware.degradation.SCENARIOS`); "" disables the
+    #: degradation stage
+    scenario: str = ""
+    #: scenario severity knob in [0, 1]
+    severity: float = 0.0
+    #: recovery policy to evaluate when ``scenario`` is set: "survive",
+    #: "reroute", "recompile", or "auto" to walk the ladder
+    #: (:func:`repro.core.recovery.recover`) and record the winner
+    policy: str = "survive"
     #: extra ``OneQConfig`` kwargs as a sorted tuple of (name, value)
     compiler_options: Tuple[Tuple[str, object], ...] = ()
 
@@ -252,6 +282,13 @@ class RunRecord:
     mc_seconds: float = 0.0
     shots_per_second: Optional[float] = None
     mc_engine: Optional[str] = None
+    scenario: str = ""
+    severity: float = 0.0
+    dead_fraction: Optional[float] = None
+    policy: Optional[str] = None
+    recovered: Optional[bool] = None
+    yield_degraded: Optional[float] = None
+    rerouted_fusions: Optional[int] = None
     cached: bool = False
     cache_tier: Optional[str] = None
     cache_age_seconds: Optional[float] = None
@@ -314,6 +351,59 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         )
         lint_issues = len(lint_report.errors())
 
+    dead_fraction = policy_used = recovered = None
+    yield_degraded = rerouted_fusions = None
+    degrade_map = degrade_program = None
+    if spec.scenario:
+        from repro.core.recovery import (
+            RECOVERY_THRESHOLD,
+            apply_policy,
+            clean_yield,
+            recover,
+        )
+        from repro.hardware.degradation import make_scenario
+        from repro.hardware.noise import NoiseModel
+
+        degrade_map = make_scenario(
+            spec.scenario,
+            hardware.extended_shape,
+            spec.severity,
+            base=NoiseModel(**dict(spec.noise)),
+            seed=spec.seed,
+        )
+        dead_fraction = degrade_map.dead_fraction
+        if spec.policy == "auto":
+            report = recover(
+                circuit,
+                program,
+                degrade_map,
+                compiler.config,
+                scenario=spec.scenario,
+                severity=spec.severity,
+            )
+            policy_used = report.policy
+            recovered = report.recovered
+            yield_degraded = report.yield_degraded
+            rerouted_fusions = report.rerouted_fusions
+            # recover() reports the winning rung but not its program;
+            # re-apply the winner so the MC stage can sample it
+            outcome = apply_policy(
+                report.policy, circuit, program, degrade_map, compiler.config
+            )
+        else:
+            outcome = apply_policy(
+                spec.policy, circuit, program, degrade_map, compiler.config
+            )
+            policy_used = outcome.policy
+            yield_degraded = outcome.yield_degraded
+            rerouted_fusions = outcome.rerouted_fusions
+            recovered = (
+                outcome.yield_degraded > 0.0
+                and outcome.yield_degraded
+                >= RECOVERY_THRESHOLD * clean_yield(program, degrade_map)
+            )
+        degrade_program = outcome.program
+
     yield_mc = yield_analytic = mc_attempts = None
     shots_per_second = mc_engine = None
     mc_shots = 0
@@ -323,24 +413,50 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         from repro.hardware.noise import NoiseModel
         from repro.sim.noisy import FaultCounts
 
-        estimate = estimate_yield(
-            circuit,
-            pattern=pattern,
-            model=NoiseModel(**dict(spec.noise)),
-            shots=spec.shots,
-            seed=spec.seed,
-            counts=FaultCounts.from_program(program),
-            engine=spec.mc_engine,
-        )
-        # estimate.shots is 0 when no sampling engine applied
-        # (non-Clifford program, analytic-only fallback)
-        mc_shots = estimate.shots
-        yield_mc = estimate.yield_mc
-        yield_analytic = estimate.yield_analytic
-        mc_attempts = estimate.attempts_per_fusion
-        mc_seconds = estimate.seconds
-        shots_per_second = estimate.shots_per_second
-        mc_engine = estimate.mc_engine
+        estimate = None
+        if degrade_map is not None:
+            # degradation specs sample the policy's program under the
+            # per-site map; dead-assigned fusions (a failed "survive")
+            # cannot be sampled — the analytic yield_degraded column
+            # already records the collapse, so MC is skipped
+            from repro.hardware.degradation import program_site_profile
+
+            if degrade_program is not None:
+                try:
+                    estimate = estimate_yield(
+                        circuit,
+                        pattern=pattern,
+                        shots=spec.shots,
+                        seed=spec.seed,
+                        counts=FaultCounts.from_program(degrade_program),
+                        engine=spec.mc_engine,
+                        site_map=degrade_map,
+                        site_profile=program_site_profile(
+                            degrade_program, degrade_map.shape
+                        ),
+                    )
+                except ValueError:
+                    estimate = None
+        else:
+            estimate = estimate_yield(
+                circuit,
+                pattern=pattern,
+                model=NoiseModel(**dict(spec.noise)),
+                shots=spec.shots,
+                seed=spec.seed,
+                counts=FaultCounts.from_program(program),
+                engine=spec.mc_engine,
+            )
+        if estimate is not None:
+            # estimate.shots is 0 when no sampling engine applied
+            # (non-Clifford program, analytic-only fallback)
+            mc_shots = estimate.shots
+            yield_mc = estimate.yield_mc
+            yield_analytic = estimate.yield_analytic
+            mc_attempts = estimate.attempts_per_fusion
+            mc_seconds = estimate.seconds
+            shots_per_second = estimate.shots_per_second
+            mc_engine = estimate.mc_engine
 
     baseline_depth = baseline_fusions = None
     depth_improvement = fusion_improvement = None
@@ -407,6 +523,13 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         mc_seconds=mc_seconds,
         shots_per_second=shots_per_second,
         mc_engine=mc_engine,
+        scenario=spec.scenario,
+        severity=spec.severity,
+        dead_fraction=dead_fraction,
+        policy=policy_used,
+        recovered=recovered,
+        yield_degraded=yield_degraded,
+        rerouted_fusions=rerouted_fusions,
     )
 
 

@@ -155,6 +155,48 @@ def render_ablation(results: Dict[str, CompiledProgram]) -> str:
     return _table(headers, rows)
 
 
+def render_survival_table(records: Sequence) -> str:
+    """Survival curves of a degradation sweep (``repro degrade-sweep``).
+
+    One block per (benchmark, scenario): policies as rows, severities as
+    columns, each cell the degraded yield with a ``*`` marker when the
+    policy met the recovery bar.  Rows without a degradation stage are
+    skipped.
+    """
+    groups: Dict[Tuple[str, str], Dict[Tuple[str, float], object]] = {}
+    severities: Dict[Tuple[str, str], List[float]] = {}
+    for r in records:
+        if not getattr(r, "scenario", "") or r.policy is None:
+            continue
+        key = (r.label, r.scenario)
+        groups.setdefault(key, {})[(r.policy, r.severity)] = r
+        if r.severity not in severities.setdefault(key, []):
+            severities[key].append(r.severity)
+    blocks = []
+    for key in sorted(groups):
+        label, scenario = key
+        sevs = sorted(severities[key])
+        policies = sorted({p for p, _ in groups[key]})
+        rows = []
+        for policy in policies:
+            cells: List[object] = [policy]
+            for sev in sevs:
+                r = groups[key].get((policy, sev))
+                if r is None or r.yield_degraded is None:
+                    cells.append("-")
+                else:
+                    mark = "*" if r.recovered else " "
+                    cells.append(f"{r.yield_degraded:.4f}{mark}")
+            rows.append(cells)
+        blocks.append(
+            f"{label} / {scenario}  (* = recovered)\n"
+            + _table(
+                ["policy"] + [f"sev {s:g}" for s in sevs], rows
+            )
+        )
+    return "\n\n".join(blocks) if blocks else "(no degradation rows)"
+
+
 def render_fig15(
     results: Dict[str, Dict[int, CompiledProgram]], base_area: int = 256
 ) -> str:

@@ -5,6 +5,15 @@ from repro.hardware.coupling import (
     SpaceTimeCouplingGraph,
     extended_to_physical,
 )
+from repro.hardware.degradation import (
+    SCENARIOS,
+    SiteNoiseMap,
+    SiteProfile,
+    dead_assigned_fusions,
+    make_scenario,
+    program_site_profile,
+    site_analytic_yield,
+)
 from repro.hardware.fusion import FusionTally
 from repro.hardware.noise import (
     DEFAULT_NOISE,
@@ -36,14 +45,21 @@ __all__ = [
     "HardwareConfig",
     "RESOURCE_STATES",
     "ResourceStateType",
+    "SCENARIOS",
+    "SiteNoiseMap",
+    "SiteProfile",
     "SpaceTimeCouplingGraph",
     "THREE_LINE",
     "baseline_log_fidelity",
+    "dead_assigned_fusions",
     "expected_fusion_attempts",
     "extended_to_physical",
     "fidelity_improvement_factor",
     "log_fidelity",
+    "make_scenario",
     "program_log_fidelity",
+    "program_site_profile",
+    "site_analytic_yield",
     "success_probability",
     "get_resource_state",
 ]

@@ -46,6 +46,42 @@ class NoiseModel:
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {value}")
 
+    def scaled(self, severity: float) -> "NoiseModel":
+        """Scale every failure probability by ``severity`` (clamped).
+
+        One severity axis shared by sweeps and degradation scenarios:
+        ``scaled(0.0)`` is perfect hardware (every failure channel off,
+        fusions always succeed), ``scaled(1.0)`` is this model
+        unchanged, and larger factors degrade it.  Each failure
+        probability — the fusion *failure* rate ``1 - fusion_success``,
+        ``fusion_error``, ``cycle_loss``, ``measurement_error`` —
+        multiplies by ``severity`` and clamps into ``[0, 1]``, so the
+        degenerate bounds are preserved as legal limits: a rate pushed
+        past 1 pins at exactly 1.0 and ``fusion_success`` can reach
+        exactly 0.0 (both retain their limiting semantics from
+        ``__post_init__``).
+
+        >>> noisy = NoiseModel(0.75, 0.25, 0.125, 0.0625)
+        >>> noisy.scaled(0.0)
+        NoiseModel(fusion_success=1.0, fusion_error=0.0, cycle_loss=0.0, measurement_error=0.0)
+        >>> noisy.scaled(1.0) == noisy
+        True
+        >>> noisy.scaled(4.0)
+        NoiseModel(fusion_success=0.0, fusion_error=1.0, cycle_loss=0.5, measurement_error=0.25)
+        """
+        if severity < 0.0:
+            raise ValueError(f"severity cannot be negative, got {severity}")
+
+        def clamp(p: float) -> float:
+            return min(1.0, max(0.0, p * severity))
+
+        return NoiseModel(
+            fusion_success=1.0 - clamp(1.0 - self.fusion_success),
+            fusion_error=clamp(self.fusion_error),
+            cycle_loss=clamp(self.cycle_loss),
+            measurement_error=clamp(self.measurement_error),
+        )
+
 
 #: A forgiving default for comparisons (boosted fusion, good optics).
 DEFAULT_NOISE = NoiseModel()

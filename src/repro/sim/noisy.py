@@ -78,6 +78,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.circuit.circuit import Circuit
+from repro.hardware.degradation import (
+    SiteNoiseMap,
+    SiteProfile,
+    dead_assigned_fusions,
+    site_analytic_yield,
+)
 from repro.hardware.noise import DEFAULT_NOISE, NoiseModel, success_probability
 from repro.mbqc.pattern import MeasurementPattern
 from repro.sim.pattern_sim import (
@@ -190,6 +196,11 @@ class NoisySampleResult:
     model: NoiseModel
     seconds: float = 0.0
     engine: str = "frame"
+    #: Per-site closed-form zero-fault probability when the run sampled
+    #: a heterogeneous :class:`repro.hardware.degradation.SiteNoiseMap`
+    #: (None for scalar/uniform runs, where ``counts`` + ``model``
+    #: already determine the analytic yield).
+    analytic_override: Optional[float] = None
 
     @property
     def yield_mc(self) -> float:
@@ -205,7 +216,10 @@ class NoisySampleResult:
 
     @property
     def yield_analytic(self) -> float:
-        """Closed-form prediction for ``fault_free_yield``."""
+        """Closed-form prediction for ``fault_free_yield`` (the
+        per-site product when the run used a heterogeneous site map)."""
+        if self.analytic_override is not None:
+            return self.analytic_override
         return self.counts.analytic_yield(self.model)
 
     @property
@@ -279,6 +293,21 @@ class NoisySampler:
         seed: seeds the fault sampling and all tableau RNGs; two
             samplers with equal arguments and seed produce identical
             tallies bit for bit, on every engine.
+        site_map: optional per-site
+            :class:`repro.hardware.degradation.SiteNoiseMap`.  When
+            given it takes precedence over *model*: a map that is
+            uniform (no dead sites, constant planes) collapses to its
+            scalar model and runs the unchanged scalar sampling path —
+            bit-identical to passing that ``NoiseModel`` directly —
+            while a heterogeneous map switches the fault-config sampler
+            to per-event probability vectors indexed by *site_profile*.
+            A map assigning any fusion to a dead / zero-success site is
+            rejected here (repeat-until-success never terminates there;
+            the yield is exactly 0 — re-route or recompile instead).
+        site_profile: per-event site assignment
+            (:func:`repro.hardware.degradation.program_site_profile`);
+            required with a heterogeneous *site_map*, and its event
+            counts must match *counts*.
 
     Fault configurations for all shots are sampled vectorized up front,
     and the shot classification (loss abort / fault free / readout
@@ -301,6 +330,8 @@ class NoisySampler:
         model: NoiseModel = DEFAULT_NOISE,
         counts: Optional[FaultCounts] = None,
         seed: Optional[int] = None,
+        site_map: Optional[SiteNoiseMap] = None,
+        site_profile: Optional[SiteProfile] = None,
     ) -> None:
         from repro.mbqc.translate import circuit_to_pattern
 
@@ -332,8 +363,68 @@ class NoisySampler:
             )
         self.circuit = circuit
         self.pattern = pattern
-        self.model = model
         self.counts = counts or FaultCounts.from_pattern(pattern)
+        # per-site sampling state: probability vectors indexed per fault
+        # event (None -> scalar path), plus the per-site closed form
+        self._site_rates: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+        self._analytic_override: Optional[float] = None
+        if site_map is not None:
+            uniform = site_map.as_uniform_model()
+            if uniform is not None:
+                # uniform map == scalar model: run the unchanged scalar
+                # path so the tallies stay bit-identical to NoiseModel
+                model = uniform
+            else:
+                if site_profile is None:
+                    raise ValueError(
+                        "a heterogeneous site_map needs a site_profile "
+                        "assigning each fault event to its site (see "
+                        "repro.hardware.degradation.program_site_profile)"
+                    )
+                if site_profile.shape != site_map.shape:
+                    raise ValueError(
+                        f"site_profile shape {site_profile.shape} != "
+                        f"site_map shape {site_map.shape}"
+                    )
+                if (
+                    site_profile.fusion_sites.size != self.counts.fusions
+                    or site_profile.cycle_sites.size
+                    != self.counts.photon_cycles
+                ):
+                    raise ValueError(
+                        "site_profile event counts "
+                        f"({site_profile.fusion_sites.size} fusions, "
+                        f"{site_profile.cycle_sites.size} photon-cycles) "
+                        f"do not match FaultCounts ({self.counts.fusions} "
+                        f"fusions, {self.counts.photon_cycles} "
+                        "photon-cycles)"
+                    )
+                dead = dead_assigned_fusions(site_profile, site_map)
+                if dead:
+                    raise ValueError(
+                        f"{dead} fusion(s) assigned to dead / "
+                        "zero-fusion-success sites: repeat-until-success "
+                        "never terminates there and the yield is exactly "
+                        "0 — re-route or recompile around the dead cells "
+                        "(repro.core.recovery) instead of sampling"
+                    )
+                assert site_map.fusion_error is not None
+                assert site_map.cycle_loss is not None
+                assert site_map.fusion_success is not None
+                self._site_rates = (
+                    site_map.fusion_error.ravel()[site_profile.fusion_sites],
+                    site_map.cycle_loss.ravel()[site_profile.cycle_sites],
+                    site_map.fusion_success.ravel()[
+                        site_profile.fusion_sites
+                    ],
+                )
+                self._analytic_override = site_analytic_yield(
+                    site_profile, site_map, self.counts.measurements
+                )
+                model = site_map.base
+        self.model = model
         if model.fusion_success == 0.0 and self.counts.fusions > 0:
             raise ValueError(
                 f"fusion_success=0 with {self.counts.fusions} fusions to "
@@ -547,15 +638,50 @@ class NoisySampler:
                 return np.zeros(shots, dtype=np.int64)
             return rng.binomial(n_events, min(rate, 1.0), size=shots)
 
-        losses = event_counts(counts.photon_cycles, model.cycle_loss)
-        fusion_errors = event_counts(counts.fusions, model.fusion_error)
-        meas_errors = event_counts(counts.measurements, model.measurement_error)
-        if counts.fusions and model.fusion_success < 1.0:
-            attempts = counts.fusions + rng.negative_binomial(
-                counts.fusions, model.fusion_success, size=shots
+        def hetero_event_counts(rates: np.ndarray) -> np.ndarray:
+            # Poisson-binomial draw over per-event probabilities: group
+            # events by unique rate (site maps have few distinct values)
+            # and draw one binomial per group.  np.unique sorts, so the
+            # draw order — hence the tally at a fixed seed — is a pure
+            # function of the rate multiset.
+            out = np.zeros(shots, dtype=np.int64)
+            for value, group in zip(*np.unique(rates, return_counts=True)):
+                if value > 0.0:
+                    out += rng.binomial(
+                        int(group), min(float(value), 1.0), size=shots
+                    )
+            return out
+
+        if self._site_rates is not None:
+            # heterogeneous site map: per-fusion / per-cycle rates are
+            # vectors indexed by the program's site assignment (the
+            # measurement channel stays scalar — readout is not a grid
+            # operation).  The engines downstream are untouched: they
+            # consume fault placements, never probabilities.
+            fe_rates, cl_rates, fs_rates = self._site_rates
+            losses = hetero_event_counts(cl_rates)
+            fusion_errors = hetero_event_counts(fe_rates)
+            meas_errors = event_counts(
+                counts.measurements, model.measurement_error
             )
-        else:
             attempts = np.full(shots, counts.fusions, dtype=np.int64)
+            for value, group in zip(*np.unique(fs_rates, return_counts=True)):
+                if value < 1.0:  # init rejects 0-success assignments
+                    attempts += rng.negative_binomial(
+                        int(group), float(value), size=shots
+                    )
+        else:
+            losses = event_counts(counts.photon_cycles, model.cycle_loss)
+            fusion_errors = event_counts(counts.fusions, model.fusion_error)
+            meas_errors = event_counts(
+                counts.measurements, model.measurement_error
+            )
+            if counts.fusions and model.fusion_success < 1.0:
+                attempts = counts.fusions + rng.negative_binomial(
+                    counts.fusions, model.fusion_success, size=shots
+                )
+            else:
+                attempts = np.full(shots, counts.fusions, dtype=np.int64)
 
         # shot classification is pure mask algebra: a lost shot aborts
         # whatever else it drew, and a shot with zero non-loss events is
@@ -656,6 +782,7 @@ class NoisySampler:
             model=model,
             seconds=time.perf_counter() - t0,
             engine=engine,
+            analytic_override=self._analytic_override,
         )
 
 
@@ -668,9 +795,17 @@ def sample_yield(
     seed: Optional[int] = 7,
     engine: str = "frame",
     chunk_size: Optional[int] = None,
+    site_map: Optional[SiteNoiseMap] = None,
+    site_profile: Optional[SiteProfile] = None,
 ) -> NoisySampleResult:
     """One-call convenience wrapper around :class:`NoisySampler`."""
     sampler = NoisySampler(
-        circuit, pattern=pattern, model=model, counts=counts, seed=seed
+        circuit,
+        pattern=pattern,
+        model=model,
+        counts=counts,
+        seed=seed,
+        site_map=site_map,
+        site_profile=site_profile,
     )
     return sampler.run(shots, engine=engine, chunk_size=chunk_size)

@@ -70,6 +70,57 @@ class TestNoiseModel:
             DEFAULT_NOISE.fusion_error = 0.5
 
 
+class TestScaled:
+    MODEL = NoiseModel(
+        fusion_success=0.75,
+        fusion_error=0.25,
+        cycle_loss=0.125,
+        measurement_error=0.0625,
+    )
+
+    def test_severity_one_is_identity(self):
+        assert self.MODEL.scaled(1.0) == self.MODEL
+
+    def test_severity_zero_is_noiseless(self):
+        """The severity-0 edge: every failure channel vanishes, fusion
+        always succeeds."""
+        clean = self.MODEL.scaled(0.0)
+        assert clean == NoiseModel(
+            fusion_success=1.0,
+            fusion_error=0.0,
+            cycle_loss=0.0,
+            measurement_error=0.0,
+        )
+
+    def test_rates_clamped_at_probability_one(self):
+        """Scaling past certainty saturates at p = 1 (and fusion
+        success at 0) instead of leaving the probability space."""
+        worst = self.MODEL.scaled(100.0)
+        assert worst == NoiseModel(
+            fusion_success=0.0,
+            fusion_error=1.0,
+            cycle_loss=1.0,
+            measurement_error=1.0,
+        )
+
+    def test_failure_rates_scale_linearly_below_the_clamp(self):
+        half = self.MODEL.scaled(0.5)
+        assert half.fusion_error == pytest.approx(0.125)
+        assert half.cycle_loss == pytest.approx(0.0625)
+        assert half.measurement_error == pytest.approx(0.03125)
+        # fusion *failure* (1 - success) is what scales, not success
+        assert 1.0 - half.fusion_success == pytest.approx(0.125)
+
+    def test_negative_severity_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            self.MODEL.scaled(-0.5)
+
+    def test_saturated_rate_stays_saturated(self):
+        """p = 1 inputs stay at the bound for any severity >= 1."""
+        certain = NoiseModel(fusion_success=0.5, cycle_loss=1.0)
+        assert certain.scaled(2.0).cycle_loss == 1.0
+
+
 class TestLogFidelity:
     def test_no_events_perfect(self):
         assert log_fidelity(0, 0, 0) == 0.0
